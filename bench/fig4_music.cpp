@@ -1,0 +1,12 @@
+//===- bench/fig4_music.cpp - Fig. 4 panel: Music Synthesizer ------------------===//
+///
+/// \file
+/// Reproduces the "Music Synthesizer" panel of Fig. 4: per-benchmark synthesis
+/// time split into SyGuS (assumption generation) and TSL (reactive
+/// synthesis), compared against the minimum-realizability-core oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Fig4Common.h"
+
+int main() { return temos::runFig4Family("Music Synthesizer"); }

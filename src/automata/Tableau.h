@@ -1,0 +1,57 @@
+//===- automata/Tableau.h - LTL tableau construction -----------*- C++ -*-===//
+///
+/// \file
+/// On-the-fly tableau construction from (underapproximated) TSL formulas
+/// to nondeterministic Buechi automata, standing in for the
+/// tsltools+Strix pipeline of the paper's implementation (Sec. 5.1).
+///
+/// The construction follows the classic expansion-law scheme (Gerth et
+/// al. / Couvreur style): a state is the set of formulas that must hold
+/// now; expansion rewrites it into branches of (literals, next-state
+/// obligations); each Until/Finally subformula contributes one
+/// generalized acceptance set containing the transitions that do not
+/// defer it. The generalized automaton is then degeneralized with the
+/// usual level counter into a single transition-based Buechi condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_AUTOMATA_TABLEAU_H
+#define TEMOS_AUTOMATA_TABLEAU_H
+
+#include "automata/Nba.h"
+#include "logic/Specification.h"
+
+namespace temos {
+
+/// Statistics of one construction.
+struct TableauStats {
+  size_t GeneralizedStates = 0;
+  size_t AcceptanceSets = 0;
+  size_t NbaStates = 0;
+  size_t NbaTransitions = 0;
+  /// Construction aborted because a resource budget was exceeded; the
+  /// returned automaton is unusable and callers must report Unknown.
+  bool BudgetExceeded = false;
+};
+
+/// Resource budgets for the construction (exceeded -> BudgetExceeded).
+struct TableauLimits {
+  size_t MaxGeneralizedStates = 20000;
+  size_t MaxTransitions = 2000000;
+};
+
+/// Builds the NBA of \p F (converted to NNF internally) over \p AB.
+/// Every predicate and update atom of \p F must be registered in the
+/// alphabet.
+Nba buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
+             TableauStats *Stats = nullptr,
+             const TableauLimits &Limits = {});
+
+/// LTL satisfiability of \p F under the underapproximation: does some
+/// trace (sequence of letters) satisfy it? Used by the refinement loop's
+/// CHECK-SAT (Alg. 4) and by tests.
+bool isSatisfiable(const Formula *F, Context &Ctx, const Alphabet &AB);
+
+} // namespace temos
+
+#endif // TEMOS_AUTOMATA_TABLEAU_H

@@ -1,0 +1,330 @@
+//===- benchmarks/Benchmarks.cpp - The Table 1 benchmark suite -------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+using namespace temos;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Music Synthesizer (Sec. 5.3; Fig. 5 shows the published Vibrato spec).
+//===----------------------------------------------------------------------===//
+
+/// Fig. 5: the LFO toggles around the frequency threshold c10(); turning
+/// it off raises the frequency, turning it on lowers it, and both states
+/// must recur forever.
+const char *VibratoSrc = R"(
+#RA#
+spec Vibrato
+cells { real lfoFreq = 0; bool lfo; }
+always guarantee {
+  G F [lfo <- True()];
+  G F [lfo <- False()];
+  lfoFreq <= c10() -> [lfo <- False()] U lfoFreq > c10();
+  lfoFreq > c10() -> [lfo <- True()] U lfoFreq <= c10();
+  [lfo <- False()] -> [lfoFreq <- lfoFreq + c1()];
+  [lfo <- True()] -> [lfoFreq <- lfoFreq - c1()];
+}
+)";
+
+/// FM modulation: like the LFO but on the modulation depth, plus a note
+/// input that demands modulation on high notes.
+const char *ModulationSrc = R"(
+#RA#
+spec Modulation
+inputs { real note; }
+cells { real depth = 0; bool mod; }
+always guarantee {
+  G F [mod <- True()];
+  G F [mod <- False()];
+  depth <= c5() -> [mod <- False()] U depth > c5();
+  depth > c5() -> [mod <- True()] U depth <= c5();
+  [mod <- False()] -> [depth <- depth + c1()];
+  [mod <- True()] -> [depth <- depth - c1()];
+  G (note > c60() -> F [mod <- True()]);
+}
+)";
+
+/// Vibrato and modulation intertwined: the LFO oscillator drives its
+/// frequency, the modulation depth follows the mod flag, and the two
+/// effect flags must never be raised simultaneously.
+const char *IntertwinedSrc = R"(
+#RA#
+spec Intertwined
+cells { real lfoFreq = 0; real depth = 0; bool lfo; bool mod; }
+always guarantee {
+  G F [lfo <- True()];
+  G F [mod <- True()];
+  lfoFreq <= c10() -> [lfo <- False()] U lfoFreq > c10();
+  lfoFreq > c10() -> [lfo <- True()] U lfoFreq <= c10();
+  [lfo <- False()] -> [lfoFreq <- lfoFreq + c1()];
+  [lfo <- True()] -> [lfoFreq <- lfoFreq - c1()];
+  G (! ([lfo <- True()] && [mod <- True()]));
+  G ([mod <- True()] -> [depth <- depth + c1()]);
+  G ([mod <- False()] -> [depth <- depth - c1()]);
+}
+)";
+
+/// Three independent effect parameters, each with threshold-crossing
+/// liveness; the largest music benchmark and the slowest row of the
+/// family in the paper.
+const char *MultiEffectSrc = R"(
+#RA#
+spec MultiEffect
+cells { real lfoFreq = 0; real depth = 0; real echo = 0;
+        bool lfo; bool mod; bool del; }
+always guarantee {
+  G F [lfo <- True()];
+  G F [mod <- True()];
+  G F [del <- True()];
+  lfoFreq <= c10() -> [lfo <- False()] U lfoFreq > c10();
+  lfoFreq > c10() -> [lfo <- True()] U lfoFreq <= c10();
+  [lfo <- False()] -> [lfoFreq <- lfoFreq + c1()];
+  [lfo <- True()] -> [lfoFreq <- lfoFreq - c1()];
+  G ([mod <- True()] -> [depth <- depth + c1()]);
+  G ([mod <- False()] -> [depth <- depth - c1()]);
+  G ([del <- True()] -> [echo <- echo + c1()]);
+  G ([del <- False()] -> [echo <- echo - c1()]);
+  G (! ([lfo <- True()] && [mod <- True()]));
+  G (! ([mod <- True()] && [del <- True()]));
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Pong.
+//===----------------------------------------------------------------------===//
+
+/// Single-player: the paddle must track the ball inside the court.
+const char *PongSingleSrc = R"(
+#LIA#
+spec PongSingle
+inputs { int ball; }
+cells { int paddle = 0; }
+always assume { ball >= c0(); ball <= c9(); }
+always guarantee {
+  [paddle <- paddle + 1] || [paddle <- paddle - 1] || [paddle <- paddle];
+  G (paddle < ball -> ! [paddle <- paddle - 1]);
+  paddle < ball -> F (paddle >= c9() || ! (paddle < ball));
+}
+)";
+
+/// Two-player: two independent paddles, each tracking the ball.
+const char *PongTwoSrc = R"(
+#LIA#
+spec PongTwo
+inputs { int ball; }
+cells { int left = 0; int right = 0; }
+always assume { ball >= c0(); ball <= c9(); }
+always guarantee {
+  [left <- left + 1] || [left <- left - 1] || [left <- left];
+  [right <- right + 1] || [right <- right - 1] || [right <- right];
+  G (left < ball -> ! [left <- left - 1]);
+  G (ball < right -> ! [right <- right + 1]);
+  left < ball -> F (left >= c9() || ! (left < ball));
+}
+)";
+
+/// Bouncing ball: the position oscillates between the two walls forever.
+const char *PongBouncingSrc = R"(
+#LIA#
+spec PongBouncing
+cells { int bally = 0; }
+always guarantee {
+  [bally <- bally + 1] || [bally <- bally - 1];
+  bally <= c0() -> F (bally >= c8());
+  bally >= c8() -> F (bally <= c0());
+  G (bally <= c0() -> ! [bally <- bally - 1]);
+  G (bally >= c8() -> ! [bally <- bally + 1]);
+}
+)";
+
+/// Automatic: paddle tracking plus a score counter fed by hits.
+const char *PongAutomaticSrc = R"(
+#LIA#
+spec PongAutomatic
+inputs { int ball; }
+cells { int paddle = 0; int score = 0; }
+always assume { ball >= c0(); ball <= c9(); }
+always guarantee {
+  [paddle <- paddle + 1] || [paddle <- paddle - 1] || [paddle <- paddle];
+  G (paddle < ball -> ! [paddle <- paddle - 1]);
+  G (paddle = ball -> [score <- score + 1]);
+  G (! (paddle = ball) -> [score <- score]);
+  paddle < ball -> F (paddle >= c9() || ! (paddle < ball));
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Escalator (the paper's Fig. 4 caption calls this family "Elevator").
+//===----------------------------------------------------------------------===//
+
+/// Simple: the motor runs exactly while a rider requests it.
+const char *EscalatorSimpleSrc = R"(
+#LIA#
+spec EscalatorSimple
+inputs { bool request; }
+cells { int motor = 0; }
+always guarantee {
+  G (request -> [motor <- c1()]);
+  G (! request -> [motor <- c0()]);
+}
+)";
+
+/// Counting: maintain the rider count from enter/leave events.
+const char *EscalatorCountingSrc = R"(
+#LIA#
+spec EscalatorCounting
+inputs { bool enter, leave; }
+cells { int count = 0; }
+always guarantee {
+  G (enter && ! leave -> [count <- count + 1]);
+  G (leave && ! enter -> [count <- count - 1]);
+  G ((enter && leave) || (! enter && ! leave) -> [count <- count]);
+}
+)";
+
+/// Bidirectional: count riders and drive the direction from requests.
+const char *EscalatorBidirectionalSrc = R"(
+#LIA#
+spec EscalatorBidirectional
+inputs { bool up, down; bool enter, leave; }
+cells { int dir = 0; int count = 0; }
+always guarantee {
+  G (up && ! down -> [dir <- c1()]);
+  G (down && ! up -> [dir <- 0 - c1()]);
+  G (! up && ! down -> [dir <- c0()]);
+  G (enter && ! leave -> [count <- count + 1]);
+  G (leave && ! enter -> [count <- count - 1]);
+  G ((enter && leave) || (! enter && ! leave) -> [count <- count]);
+}
+)";
+
+/// Smart: an idle timer parks the escalator after five quiet steps; if
+/// requests stop forever, the timer must eventually expire.
+const char *EscalatorSmartSrc = R"(
+#LIA#
+spec EscalatorSmart
+inputs { bool request; }
+cells { int idle = 0; int motor = 0; }
+always guarantee {
+  G (request -> [idle <- c0()]);
+  G (! request -> [idle <- idle + 1]);
+  G (request -> [motor <- c1()]);
+  G (idle >= c5() && ! request -> [motor <- c0()]);
+}
+guarantee {
+  F request || F (idle >= c5());
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// CPU Scheduler (Sec. 2 and Sec. 5.4).
+//===----------------------------------------------------------------------===//
+
+/// Round robin over two tasks, with a free-running lag counter that
+/// must keep returning below zero.
+const char *RoundRobinSrc = R"(
+#LIA#
+spec RoundRobin
+inputs { opaque task1, task2; }
+outputs { opaque next; }
+cells { int lag = 0; }
+always guarantee {
+  [next <- task1] || [next <- task2];
+  [next <- task1] -> X [next <- task2];
+  [next <- task2] -> X [next <- task1];
+  G F [next <- task1];
+  G F [next <- task2];
+  [lag <- lag + 1] || [lag <- lag - 1];
+  lag > c0() -> F (lag <= c0());
+}
+)";
+
+/// Load balancer: jobs go to the shorter queue.
+const char *LoadBalancerSrc = R"(
+#LIA#
+spec LoadBalancer
+outputs { opaque next; }
+cells { int q1 = 0; int q2 = 0; }
+functions { opaque one(); opaque two(); }
+always guarantee {
+  [next <- one()] || [next <- two()];
+  G (q1 < q2 -> ! [next <- two()]);
+  G (q2 < q1 -> ! [next <- one()]);
+  G ([next <- one()] <-> [q1 <- q1 + 1]);
+  G ([next <- two()] <-> [q2 <- q2 + 1]);
+  q1 < q2 -> F ! (q1 < q2);
+  q2 < q1 -> F ! (q2 < q1);
+}
+)";
+
+/// Preemptive: urgent work preempts task2, but under fair urgency task2
+/// still runs infinitely often and the time slice keeps resetting.
+const char *PreemptiveSrc = R"(
+#LIA#
+spec Preemptive
+inputs { opaque task1, task2; bool urgent; }
+outputs { opaque next; }
+cells { int slice = 0; }
+always assume {
+  F ! urgent;
+}
+always guarantee {
+  [next <- task1] || [next <- task2];
+  G (urgent -> [next <- task1]);
+  G F [next <- task2];
+  [slice <- slice + 1] || [slice <- c0()];
+  slice >= c4() -> F (slice < c4());
+}
+)";
+
+/// The Completely Fair Scheduler of Fig. 2 (two tasks, constant
+/// weights, task2 permanently runnable; see DESIGN.md for the
+/// substitutions).
+const char *CfsSrc = R"(
+#LIA#
+spec CFS
+inputs { opaque task1, task2; bool enq1, deq1; }
+outputs { opaque next; }
+cells { int vr1 = 0; int vr2 = 0; }
+functions { opaque idle(); }
+always guarantee {
+  [next <- task1] || [next <- task2] || [next <- idle()];
+  G (enq1 -> F ([next <- task1] || deq1));
+  G (deq1 -> (! [next <- task1]) W enq1);
+  G ([next <- task1] <-> [vr1 <- vr1 + c2()]);
+  G ([next <- task2] <-> [vr2 <- vr2 + c3()]);
+  G (vr1 < vr2 -> ! [next <- task2]);
+  G (vr2 < vr1 -> ! [next <- task1]);
+}
+)";
+
+const std::vector<BenchmarkSpec> Registry = {
+    {"Music Synthesizer", "Vibrato", VibratoSrc},
+    {"Music Synthesizer", "Modulation", ModulationSrc},
+    {"Music Synthesizer", "Intertwined", IntertwinedSrc},
+    {"Music Synthesizer", "Multi-effect", MultiEffectSrc},
+    {"Pong", "Single-Player", PongSingleSrc},
+    {"Pong", "Two-Player", PongTwoSrc},
+    {"Pong", "Bouncing", PongBouncingSrc},
+    {"Pong", "Automatic", PongAutomaticSrc},
+    {"Escalator", "Simple", EscalatorSimpleSrc},
+    {"Escalator", "Counting", EscalatorCountingSrc},
+    {"Escalator", "Bidirectional", EscalatorBidirectionalSrc},
+    {"Escalator", "Smart", EscalatorSmartSrc},
+    {"CPU Scheduler", "Round Robin", RoundRobinSrc},
+    {"CPU Scheduler", "Load Balancer", LoadBalancerSrc},
+    {"CPU Scheduler", "Preemptive", PreemptiveSrc},
+    {"CPU Scheduler", "CFS", CfsSrc},
+};
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &temos::allBenchmarks() { return Registry; }
+
+const BenchmarkSpec *temos::findBenchmark(const std::string &Name) {
+  for (const BenchmarkSpec &B : Registry)
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,75 @@
+//===- benchmarks/Runner.cpp - Shared benchmark harness --------------------===//
+
+#include "benchmarks/Runner.h"
+
+#include "codegen/CodeEmitter.h"
+#include "logic/Parser.h"
+
+#include <cstdio>
+
+using namespace temos;
+
+BenchmarkRun temos::runBenchmark(const BenchmarkSpec &B,
+                                 const PipelineOptions &Options) {
+  BenchmarkRun Run;
+  Run.Ctx = std::make_shared<Context>();
+  Run.Row.Family = B.Family;
+  Run.Row.Name = B.Name;
+
+  ParseError Err;
+  auto Spec = parseSpecification(B.Source, *Run.Ctx, Err);
+  if (!Spec)
+    return Run;
+  Run.Spec = *Spec;
+  Run.Row.Parsed = true;
+
+  Synthesizer Synth(*Run.Ctx);
+  Run.Result = Synth.run(Run.Spec, Options);
+
+  const PipelineStats &S = Run.Result.Stats;
+  Run.Row.Status = Run.Result.Status;
+  Run.Row.SpecSize = S.SpecSize;
+  Run.Row.PredicateCount = S.PredicateCount;
+  Run.Row.UpdateTermCount = S.UpdateTermCount;
+  Run.Row.AssumptionCount = S.AssumptionCount;
+  Run.Row.PsiGenSeconds = S.PsiGenSeconds;
+  Run.Row.SynthesisSeconds = S.SynthesisSeconds;
+  Run.Row.SumSeconds = S.PsiGenSeconds + S.SynthesisSeconds;
+  Run.Row.Refinements = S.Refinements;
+  if (Run.Result.Machine) {
+    std::string Js =
+        emitJavaScript(*Run.Result.Machine, Run.Result.AB, Run.Spec);
+    Run.Row.SynthesizedLoc = countLines(Js);
+  }
+  return Run;
+}
+
+std::string temos::formatTable(const std::vector<BenchmarkRow> &Rows) {
+  std::string Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%-18s %-14s %5s %4s %4s %5s %10s %9s %8s %6s %s\n",
+                "Benchmark", "", "|phi|", "|P|", "|F|", "|psi|",
+                "psi-gen(s)", "synth(s)", "sum(s)", "LoC", "status");
+  Out += Line;
+  Out += std::string(110, '-') + "\n";
+  std::string LastFamily;
+  for (const BenchmarkRow &R : Rows) {
+    if (R.Family != LastFamily) {
+      Out += R.Family + "\n";
+      LastFamily = R.Family;
+    }
+    const char *Status = !R.Parsed ? "PARSE-ERROR"
+                         : R.Status == Realizability::Realizable
+                             ? "ok"
+                             : (R.Status == Realizability::Unrealizable
+                                    ? "UNREALIZABLE"
+                                    : "UNKNOWN");
+    std::snprintf(Line, sizeof(Line),
+                  "%-18s %-14s %5zu %4zu %4zu %5zu %10.3f %9.3f %8.3f %6zu %s\n",
+                  "", R.Name.c_str(), R.SpecSize, R.PredicateCount,
+                  R.UpdateTermCount, R.AssumptionCount, R.PsiGenSeconds,
+                  R.SynthesisSeconds, R.SumSeconds, R.SynthesizedLoc, Status);
+    Out += Line;
+  }
+  return Out;
+}

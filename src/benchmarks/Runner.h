@@ -1,0 +1,56 @@
+//===- benchmarks/Runner.h - Shared benchmark harness ----------*- C++ -*-===//
+///
+/// \file
+/// Runs one Table-1 benchmark end to end (parse -> pipeline -> codegen)
+/// and collects the row data Table 1 reports. Shared by the bench
+/// binaries, the integration tests and EXPERIMENTS.md generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_BENCHMARKS_RUNNER_H
+#define TEMOS_BENCHMARKS_RUNNER_H
+
+#include "benchmarks/Benchmarks.h"
+#include "core/Synthesizer.h"
+
+#include <memory>
+
+namespace temos {
+
+/// One Table-1 row as measured on this machine.
+struct BenchmarkRow {
+  std::string Family;
+  std::string Name;
+  bool Parsed = false;
+  Realizability Status = Realizability::Unknown;
+  size_t SpecSize = 0;        // |phi|
+  size_t PredicateCount = 0;  // |P|
+  size_t UpdateTermCount = 0; // |F|
+  size_t AssumptionCount = 0; // |psi|
+  double PsiGenSeconds = 0;
+  double SynthesisSeconds = 0;
+  double SumSeconds = 0;
+  size_t SynthesizedLoc = 0;
+  unsigned Refinements = 0;
+};
+
+/// Full result of one run, keeping the context alive for callers that
+/// want the machine/alphabet (examples, Fig. 4 oracle).
+struct BenchmarkRun {
+  BenchmarkRow Row;
+  std::shared_ptr<Context> Ctx;
+  Specification Spec;
+  PipelineResult Result;
+};
+
+/// Parses and synthesizes benchmark \p B. \p Options tweaks the
+/// pipeline (ablation benches).
+BenchmarkRun runBenchmark(const BenchmarkSpec &B,
+                          const PipelineOptions &Options = {});
+
+/// Formats rows as the Table 1 layout.
+std::string formatTable(const std::vector<BenchmarkRow> &Rows);
+
+} // namespace temos
+
+#endif // TEMOS_BENCHMARKS_RUNNER_H

@@ -1,0 +1,245 @@
+//===- codegen/CodeEmitter.cpp - JS and C++ code generation ----------------===//
+
+#include "codegen/CodeEmitter.h"
+
+#include <algorithm>
+
+using namespace temos;
+
+namespace {
+
+/// Rendering language.
+enum class Lang { Js, Cpp };
+
+/// True if the signal is an input (vs a cell/output).
+bool isInputSignal(const Specification &Spec, const std::string &Name) {
+  return Spec.findInput(Name) != nullptr;
+}
+
+/// Renders a term as an expression in the target language. Inputs read
+/// from `inputs`, cells from `cells`; uninterpreted functions dispatch
+/// to a user-supplied `fns` object (JS) / `Fns` member (C++).
+std::string emitTerm(const Term *T, const Specification &Spec, Lang L) {
+  switch (T->kind()) {
+  case Term::Kind::Numeral:
+    if (T->value().isInteger())
+      return std::to_string(T->value().numerator());
+    return "(" + std::to_string(T->value().numerator()) + ".0 / " +
+           std::to_string(T->value().denominator()) + ".0)";
+  case Term::Kind::Signal: {
+    const char *Scope = isInputSignal(Spec, T->name()) ? "inputs" : "cells";
+    return std::string(Scope) + (L == Lang::Js ? "." : ".") + T->name();
+  }
+  case Term::Kind::Apply:
+    break;
+  }
+
+  const std::string &F = T->name();
+  static const char *Infix[] = {"+", "-", "*", "<", "<=", ">", ">="};
+  if (T->arity() == 2 &&
+      std::find_if(std::begin(Infix), std::end(Infix), [&](const char *Op) {
+        return F == Op;
+      }) != std::end(Infix))
+    return "(" + emitTerm(T->args()[0], Spec, L) + " " + F + " " +
+           emitTerm(T->args()[1], Spec, L) + ")";
+  if (T->arity() == 2 && (F == "=" || F == "!=")) {
+    const char *Op = F == "=" ? (L == Lang::Js ? " === " : " == ")
+                              : (L == Lang::Js ? " !== " : " != ");
+    return "(" + emitTerm(T->args()[0], Spec, L) + Op +
+           emitTerm(T->args()[1], Spec, L) + ")";
+  }
+  if (T->arity() == 0) {
+    if (F == "True")
+      return "true";
+    if (F == "False")
+      return "false";
+    // Opaque constant: a tagged string literal.
+    return std::string("\"") + F + "\"";
+  }
+  // Uninterpreted function call.
+  std::string Call = (L == Lang::Js ? "fns." : "Fns.") + F + "(";
+  for (size_t I = 0; I < T->arity(); ++I) {
+    if (I != 0)
+      Call += ", ";
+    Call += emitTerm(T->args()[I], Spec, L);
+  }
+  return Call + ")";
+}
+
+std::string cppType(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Int:
+    return "long long";
+  case Sort::Real:
+    return "double";
+  case Sort::Opaque:
+    return "std::string";
+  }
+  return "long long";
+}
+
+std::string initExpr(const CellDecl &D, const Specification &Spec, Lang L) {
+  if (D.Init)
+    return emitTerm(D.Init, Spec, L);
+  switch (D.S) {
+  case Sort::Bool:
+    return "false";
+  case Sort::Int:
+    return "0";
+  case Sort::Real:
+    return L == Lang::Js ? "0" : "0.0";
+  case Sort::Opaque:
+    return "\"\"";
+  }
+  return "0";
+}
+
+} // namespace
+
+std::string temos::emitJavaScript(const MealyMachine &M, const Alphabet &AB,
+                                  const Specification &Spec) {
+  std::string Out;
+  Out += "// Synthesized by temoscpp from specification '" + Spec.Name +
+         "' (TSL modulo " + theoryName(Spec.Th) + ").\n";
+  Out += "// States: " + std::to_string(M.stateCount()) +
+         ", input letters: " + std::to_string(M.inputCount()) + ".\n";
+  Out += "function createController(fns) {\n";
+  Out += "  let state = " + std::to_string(M.initialState()) + ";\n";
+  Out += "  const cells = {\n";
+  for (const CellDecl &D : Spec.Cells)
+    Out += "    " + D.Name + ": " + initExpr(D, Spec, Lang::Js) + ",\n";
+  for (const SignalDecl &D : Spec.Outputs)
+    Out += "    " + D.Name + ": " +
+           initExpr(CellDecl{D.Name, D.S, nullptr}, Spec, Lang::Js) + ",\n";
+  Out += "  };\n";
+  Out += "  function step(inputs) {\n";
+
+  // Predicate evaluations form the input word.
+  for (size_t I = 0; I < AB.predicates().size(); ++I)
+    Out += "    const p" + std::to_string(I) + " = " +
+           emitTerm(AB.predicates()[I], Spec, Lang::Js) + ";\n";
+  Out += "    const word =";
+  if (AB.predicates().empty()) {
+    Out += " 0;\n";
+  } else {
+    for (size_t I = 0; I < AB.predicates().size(); ++I) {
+      if (I != 0)
+        Out += " |";
+      Out += " (p" + std::to_string(I) + " ? " + std::to_string(1u << I) +
+             " : 0)";
+    }
+    Out += ";\n";
+  }
+
+  Out += "    const next = Object.assign({}, cells);\n";
+  Out += "    switch (state) {\n";
+  for (uint32_t S = 0; S < M.stateCount(); ++S) {
+    Out += "    case " + std::to_string(S) + ":\n";
+    Out += "      switch (word) {\n";
+    for (uint32_t In = 0; In < M.inputCount(); ++In) {
+      MealyMachine::Edge E = M.edge(S, In);
+      Out += "      case " + std::to_string(In) + ":\n";
+      std::vector<unsigned> Choices = AB.decodeOutput(E.Output);
+      for (size_t C = 0; C < AB.cells().size(); ++C) {
+        const Formula *U = AB.cells()[C].Options[Choices[C]];
+        // Skip no-op self updates for readability.
+        if (U->updateValue()->isSignal() &&
+            U->updateValue()->name() == U->cell())
+          continue;
+        Out += "        next." + U->cell() + " = " +
+               emitTerm(U->updateValue(), Spec, Lang::Js) + ";\n";
+      }
+      Out += "        state = " + std::to_string(E.NextState) + ";\n";
+      Out += "        break;\n";
+    }
+    Out += "      }\n";
+    Out += "      break;\n";
+  }
+  Out += "    }\n";
+  Out += "    Object.assign(cells, next);\n";
+  Out += "    return cells;\n";
+  Out += "  }\n";
+  Out += "  return { step: step, cells: cells };\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string temos::emitCpp(const MealyMachine &M, const Alphabet &AB,
+                           const Specification &Spec) {
+  std::string Out;
+  Out += "// Synthesized by temoscpp from specification '" + Spec.Name +
+         "' (TSL modulo " + theoryName(Spec.Th) + ").\n";
+  Out += "#include <string>\n\n";
+  Out += "struct " + Spec.Name + "Controller {\n";
+  Out += "  struct Inputs {\n";
+  for (const SignalDecl &D : Spec.Inputs)
+    Out += "    " + cppType(D.S) + " " + D.Name + "{};\n";
+  Out += "  };\n";
+  Out += "  struct Cells {\n";
+  for (const CellDecl &D : Spec.Cells)
+    Out += "    " + cppType(D.S) + " " + D.Name + " = " +
+           initExpr(D, Spec, Lang::Cpp) + ";\n";
+  for (const SignalDecl &D : Spec.Outputs)
+    Out += "    " + cppType(D.S) + " " + D.Name + " = " +
+           initExpr(CellDecl{D.Name, D.S, nullptr}, Spec, Lang::Cpp) + ";\n";
+  Out += "  };\n";
+  Out += "  int state = " + std::to_string(M.initialState()) + ";\n";
+  Out += "  Cells cells;\n\n";
+  Out += "  const Cells &step(const Inputs &inputs) {\n";
+  for (size_t I = 0; I < AB.predicates().size(); ++I)
+    Out += "    const bool p" + std::to_string(I) + " = " +
+           emitTerm(AB.predicates()[I], Spec, Lang::Cpp) + ";\n";
+  Out += "    const unsigned word =";
+  if (AB.predicates().empty()) {
+    Out += " 0;\n";
+  } else {
+    for (size_t I = 0; I < AB.predicates().size(); ++I) {
+      if (I != 0)
+        Out += " |";
+      Out += " (p" + std::to_string(I) + " ? " + std::to_string(1u << I) +
+             "u : 0u)";
+    }
+    Out += ";\n";
+  }
+  Out += "    Cells next = cells;\n";
+  Out += "    switch (state) {\n";
+  for (uint32_t S = 0; S < M.stateCount(); ++S) {
+    Out += "    case " + std::to_string(S) + ":\n";
+    Out += "      switch (word) {\n";
+    for (uint32_t In = 0; In < M.inputCount(); ++In) {
+      MealyMachine::Edge E = M.edge(S, In);
+      Out += "      case " + std::to_string(In) + ":\n";
+      std::vector<unsigned> Choices = AB.decodeOutput(E.Output);
+      for (size_t C = 0; C < AB.cells().size(); ++C) {
+        const Formula *U = AB.cells()[C].Options[Choices[C]];
+        if (U->updateValue()->isSignal() &&
+            U->updateValue()->name() == U->cell())
+          continue;
+        Out += "        next." + U->cell() + " = " +
+               emitTerm(U->updateValue(), Spec, Lang::Cpp) + ";\n";
+      }
+      Out += "        state = " + std::to_string(E.NextState) + ";\n";
+      Out += "        break;\n";
+    }
+    Out += "      default: break;\n";
+    Out += "      }\n";
+    Out += "      break;\n";
+  }
+  Out += "    default: break;\n";
+  Out += "    }\n";
+  Out += "    cells = next;\n";
+  Out += "    return cells;\n";
+  Out += "  }\n";
+  Out += "};\n";
+  return Out;
+}
+
+size_t temos::countLines(const std::string &Code) {
+  size_t Lines = 0;
+  for (char C : Code)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}

@@ -1,0 +1,42 @@
+//===- codegen/CodeEmitter.h - JS and C++ code generation ------*- C++ -*-===//
+///
+/// \file
+/// Renders synthesized Mealy machines as executable source code, the
+/// final stage of the pipeline ("outputs an executable program code",
+/// Sec. 4; the paper's tsltools backend targets JavaScript for the music
+/// case study and C for the kernel scheduler). Two backends:
+///
+///  * emitJavaScript -- a createController() factory in the style of the
+///    paper's WebAudio demo glue;
+///  * emitCpp -- a self-contained struct with a step() member, suitable
+///    for dropping into a C/C++ code base (the kernel use case).
+///
+/// The synthesized-LoC column of Table 1 is measured on the JavaScript
+/// output via countLines().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_CODEGEN_CODEEMITTER_H
+#define TEMOS_CODEGEN_CODEEMITTER_H
+
+#include "game/Mealy.h"
+#include "logic/Specification.h"
+
+#include <string>
+
+namespace temos {
+
+/// Emits the controller as a JavaScript factory function.
+std::string emitJavaScript(const MealyMachine &M, const Alphabet &AB,
+                           const Specification &Spec);
+
+/// Emits the controller as a self-contained C++ struct.
+std::string emitCpp(const MealyMachine &M, const Alphabet &AB,
+                    const Specification &Spec);
+
+/// Lines of code of an emitted program (Table 1's LoC column).
+size_t countLines(const std::string &Code);
+
+} // namespace temos
+
+#endif // TEMOS_CODEGEN_CODEEMITTER_H

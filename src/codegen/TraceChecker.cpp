@@ -1,0 +1,137 @@
+//===- codegen/TraceChecker.cpp - Finite-trace TSL checking ----------------===//
+
+#include "codegen/TraceChecker.h"
+
+#include <algorithm>
+
+using namespace temos;
+
+void Trace::append(const Alphabet &AB, const Controller::StepOutcome &Outcome) {
+  TraceStep Step;
+  for (size_t I = 0; I < AB.predicates().size(); ++I)
+    if ((Outcome.InputBits >> I) & 1)
+      Step.TruePredicates.push_back(AB.predicates()[I]);
+  Step.FiredUpdates = Outcome.FiredUpdates;
+  Steps.push_back(std::move(Step));
+}
+
+bool Trace::atomHolds(const Formula *Atom, size_t At) const {
+  const TraceStep &S = Steps[At];
+  if (Atom->is(Formula::Kind::Pred))
+    return std::find(S.TruePredicates.begin(), S.TruePredicates.end(),
+                     Atom->pred()) != S.TruePredicates.end();
+  assert(Atom->is(Formula::Kind::Update) && "atom must be Pred or Update");
+  return std::find(S.FiredUpdates.begin(), S.FiredUpdates.end(), Atom) !=
+         S.FiredUpdates.end();
+}
+
+namespace {
+
+TraceVerdict negate(TraceVerdict V) {
+  switch (V) {
+  case TraceVerdict::Holds:
+    return TraceVerdict::Violated;
+  case TraceVerdict::Violated:
+    return TraceVerdict::Holds;
+  case TraceVerdict::Undecided:
+    return TraceVerdict::Undecided;
+  }
+  return TraceVerdict::Undecided;
+}
+
+TraceVerdict conj(TraceVerdict A, TraceVerdict B) {
+  if (A == TraceVerdict::Violated || B == TraceVerdict::Violated)
+    return TraceVerdict::Violated;
+  if (A == TraceVerdict::Undecided || B == TraceVerdict::Undecided)
+    return TraceVerdict::Undecided;
+  return TraceVerdict::Holds;
+}
+
+TraceVerdict disj(TraceVerdict A, TraceVerdict B) {
+  return negate(conj(negate(A), negate(B)));
+}
+
+} // namespace
+
+TraceVerdict Trace::check(const Formula *F, size_t At) const {
+  // Past the end of the trace: everything about the future is open.
+  if (At >= Steps.size())
+    return TraceVerdict::Undecided;
+
+  switch (F->kind()) {
+  case Formula::Kind::True:
+    return TraceVerdict::Holds;
+  case Formula::Kind::False:
+    return TraceVerdict::Violated;
+  case Formula::Kind::Pred:
+  case Formula::Kind::Update:
+    return atomHolds(F, At) ? TraceVerdict::Holds : TraceVerdict::Violated;
+  case Formula::Kind::Not:
+    return negate(check(F->child(0), At));
+  case Formula::Kind::And: {
+    TraceVerdict V = TraceVerdict::Holds;
+    for (const Formula *Kid : F->children())
+      V = conj(V, check(Kid, At));
+    return V;
+  }
+  case Formula::Kind::Or: {
+    TraceVerdict V = TraceVerdict::Violated;
+    for (const Formula *Kid : F->children())
+      V = disj(V, check(Kid, At));
+    return V;
+  }
+  case Formula::Kind::Implies:
+    return disj(negate(check(F->lhs(), At)), check(F->rhs(), At));
+  case Formula::Kind::Iff: {
+    TraceVerdict A = check(F->lhs(), At);
+    TraceVerdict B = check(F->rhs(), At);
+    if (A == TraceVerdict::Undecided || B == TraceVerdict::Undecided)
+      return TraceVerdict::Undecided;
+    return A == B ? TraceVerdict::Holds : TraceVerdict::Violated;
+  }
+  case Formula::Kind::Next:
+    return check(F->child(0), At + 1);
+  case Formula::Kind::Globally: {
+    // Violated if any seen step violates; else Undecided (the future
+    // could still fail).
+    for (size_t I = At; I < Steps.size(); ++I)
+      if (check(F->child(0), I) == TraceVerdict::Violated)
+        return TraceVerdict::Violated;
+    return TraceVerdict::Undecided;
+  }
+  case Formula::Kind::Finally: {
+    for (size_t I = At; I < Steps.size(); ++I)
+      if (check(F->child(0), I) == TraceVerdict::Holds)
+        return TraceVerdict::Holds;
+    return TraceVerdict::Undecided;
+  }
+  case Formula::Kind::Until: {
+    for (size_t I = At; I < Steps.size(); ++I) {
+      if (check(F->rhs(), I) == TraceVerdict::Holds)
+        return TraceVerdict::Holds;
+      if (check(F->lhs(), I) == TraceVerdict::Violated)
+        return TraceVerdict::Violated;
+    }
+    return TraceVerdict::Undecided;
+  }
+  case Formula::Kind::WeakUntil: {
+    for (size_t I = At; I < Steps.size(); ++I) {
+      if (check(F->rhs(), I) == TraceVerdict::Holds)
+        return TraceVerdict::Holds;
+      if (check(F->lhs(), I) == TraceVerdict::Violated)
+        return TraceVerdict::Violated;
+    }
+    return TraceVerdict::Undecided; // Could still hold via G lhs.
+  }
+  case Formula::Kind::Release: {
+    for (size_t I = At; I < Steps.size(); ++I) {
+      if (check(F->rhs(), I) == TraceVerdict::Violated)
+        return TraceVerdict::Violated;
+      if (check(F->lhs(), I) == TraceVerdict::Holds)
+        return TraceVerdict::Holds; // rhs held through I, lhs releases.
+    }
+    return TraceVerdict::Undecided;
+  }
+  }
+  return TraceVerdict::Undecided;
+}

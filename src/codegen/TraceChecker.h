@@ -1,0 +1,74 @@
+//===- codegen/TraceChecker.h - Finite-trace TSL checking ------*- C++ -*-===//
+///
+/// \file
+/// Bounded-semantics evaluation of TSL formulas over recorded controller
+/// traces: each trace step carries the predicate valuation and the
+/// updates that fired. Used by integration tests and the examples to
+/// check that synthesized controllers actually satisfy their
+/// specification on concrete runs (safety exactly; liveness under the
+/// usual finite-trace approximations).
+///
+/// Verdicts are four-valued in spirit but collapsed to three:
+///  * Holds      -- the formula is satisfied on every infinite extension
+///                  (e.g. a fulfilled F, a violated-free G so far is NOT
+///                  enough -- see PresumedHolds),
+///  * Violated   -- no extension can satisfy it (safety violation),
+///  * Undecided  -- depends on the unseen future (pending F/U, or a G
+///                  that has not failed yet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_CODEGEN_TRACECHECKER_H
+#define TEMOS_CODEGEN_TRACECHECKER_H
+
+#include "codegen/Interpreter.h"
+#include "logic/Formula.h"
+
+#include <vector>
+
+namespace temos {
+
+/// One recorded step: which atoms held.
+struct TraceStep {
+  /// Predicate terms true at this step.
+  std::vector<const Term *> TruePredicates;
+  /// Update atoms that fired at this step.
+  std::vector<const Formula *> FiredUpdates;
+};
+
+/// Finite-trace verdicts.
+enum class TraceVerdict {
+  Holds,
+  Violated,
+  Undecided,
+};
+
+/// A recorded controller execution.
+class Trace {
+public:
+  void append(const TraceStep &Step) { Steps.push_back(Step); }
+  /// Records a step from a Controller outcome (predicates decoded from
+  /// the input bits using the alphabet).
+  void append(const Alphabet &AB, const Controller::StepOutcome &Outcome);
+
+  size_t length() const { return Steps.size(); }
+  const TraceStep &step(size_t I) const { return Steps[I]; }
+
+  /// Evaluates \p F at trace position \p At under bounded semantics.
+  TraceVerdict check(const Formula *F, size_t At = 0) const;
+
+  /// True when \p F is not Violated anywhere (safety monitoring): the
+  /// usual acceptance criterion for finite executions.
+  bool noViolation(const Formula *F) const {
+    return check(F) != TraceVerdict::Violated;
+  }
+
+private:
+  bool atomHolds(const Formula *Atom, size_t At) const;
+
+  std::vector<TraceStep> Steps;
+};
+
+} // namespace temos
+
+#endif // TEMOS_CODEGEN_TRACECHECKER_H

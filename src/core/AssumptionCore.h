@@ -1,0 +1,43 @@
+//===- core/AssumptionCore.h - Fig. 4 oracle -------------------*- C++ -*-===//
+///
+/// \file
+/// The oracle of the paper's Fig. 4 comparison: the minimum
+/// realizability core of the TSL-with-assumptions formula. The paper
+/// builds it with tsltools' minimum-realizability-core feature; we use
+/// greedy delete-one minimization under realizability checks. The
+/// oracle's synthesis time is then measured on the reduced formula only
+/// -- no psi-generation overhead and no superfluous assumptions -- which
+/// is the "theoretical best possible runtime" the paper compares
+/// against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_CORE_ASSUMPTIONCORE_H
+#define TEMOS_CORE_ASSUMPTIONCORE_H
+
+#include "core/Synthesizer.h"
+
+namespace temos {
+
+/// Result of the oracle computation.
+struct OracleResult {
+  Realizability Status = Realizability::Unknown;
+  /// Minimal assumption subset that keeps the spec realizable.
+  std::vector<const Formula *> Core;
+  /// Wall time of computing the core (NOT charged to the oracle).
+  double MinimizationSeconds = 0;
+  /// Wall time of one reactive synthesis run on the reduced formula --
+  /// the oracle bar of Fig. 4.
+  double OracleSynthesisSeconds = 0;
+  size_t RealizabilityChecks = 0;
+};
+
+/// Minimizes \p Assumptions for \p Spec and times synthesis on the
+/// reduced formula.
+OracleResult computeOracle(const Specification &Spec,
+                           const std::vector<const Formula *> &Assumptions,
+                           Context &Ctx, const SynthesisOptions &Options = {});
+
+} // namespace temos
+
+#endif // TEMOS_CORE_ASSUMPTIONCORE_H

@@ -1,0 +1,98 @@
+//===- core/AssumptionGenerator.h - SyGuS->TSL translation -----*- C++ -*-===//
+///
+/// \file
+/// Bridges SyGuS results back into TSL (Sec. 4.3, Algorithms 2 and 3,
+/// Theorems 4.1/4.4): a data transformation obligation is turned into a
+/// SyGuS query over the update terms the specification offers; the
+/// synthesized program is unrolled into a chain of update atoms with X
+/// prefixes (sequential) or a W-encoded loop body, producing the valid
+/// TSL assumption
+///
+///   G (pre && upd_0 && X upd_1 && ... -> X^n post)          (Alg. 2)
+///   G (pre && (upd W post) -> F post)                        (Alg. 3)
+///
+/// that weakens the TSL underapproximation just enough for reactive
+/// synthesis to exploit the theory semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_CORE_ASSUMPTIONGENERATOR_H
+#define TEMOS_CORE_ASSUMPTIONGENERATOR_H
+
+#include "core/Decomposition.h"
+#include "sygus/SygusSolver.h"
+
+#include <optional>
+
+namespace temos {
+
+/// One generated assumption, with the pieces the refinement loop
+/// (Alg. 4) needs: the (pre, upd, post) split and the originating
+/// obligation/program so SyGuS can be re-run with exclusions.
+struct GeneratedAssumption {
+  /// The full G(pre && upd -> post') formula added to the spec.
+  const Formula *Assumption = nullptr;
+  /// Conjunction of pre-condition literals.
+  const Formula *PreFormula = nullptr;
+  /// The update chain (with X prefixes) or loop body conjunction.
+  const Formula *UpdFormula = nullptr;
+  /// X^n post or F post.
+  const Formula *PostFormula = nullptr;
+
+  Obligation Ob;
+  bool IsLoop = false;
+  SequentialProgram Sequential;
+  LoopProgram Loop;
+};
+
+/// Generates TSL assumptions from obligations via SyGuS.
+class AssumptionGenerator {
+public:
+  AssumptionGenerator(const Specification &Spec, Context &Ctx)
+      : Spec(Spec), Ctx(Ctx), Solver(Ctx, Spec.Th) {}
+
+  struct Options {
+    /// Sequential search depth for reachability obligations before
+    /// falling back to loop synthesis.
+    unsigned MaxSequentialSteps = 3;
+  };
+  Options Opts;
+
+  /// Builds the SyGuS query for \p Ob: semantic constraints from the
+  /// obligation, syntactic constraints (the chain grammar) from the
+  /// update terms the spec makes available for the post-condition's
+  /// cells (Sec. 4.3.1).
+  SygusQuery buildQuery(const Obligation &Ob) const;
+
+  /// Runs SyGuS on \p Ob and encodes the result. Programs in the
+  /// exclusion lists are skipped (refinement, Alg. 4). Returns nullopt
+  /// when no program verifies.
+  std::optional<GeneratedAssumption>
+  generate(const Obligation &Ob,
+           const std::vector<SequentialProgram> &ExcludedSeq = {},
+           const std::vector<LoopProgram> &ExcludedLoop = {},
+           SygusStats *Stats = nullptr);
+
+  /// Encodes a sequential program as a TSL assumption (Algorithm 2).
+  GeneratedAssumption encodeSequential(const Obligation &Ob,
+                                       const SequentialProgram &Program);
+  /// Encodes a loop program as a TSL assumption (Algorithm 3).
+  GeneratedAssumption encodeLoop(const Obligation &Ob,
+                                 const LoopProgram &Program);
+
+  /// The refinement guarantee G(pre -> upd) used to identify
+  /// "unhelpful" assumptions (Alg. 4).
+  const Formula *refinementGuarantee(const GeneratedAssumption &A);
+
+private:
+  const Formula *literalConjunction(const std::vector<TheoryLiteral> &Ls);
+  const Formula *stepConjunction(const StepChoice &Step);
+
+  const Specification &Spec;
+  Context &Ctx;
+  SygusSolver Solver;
+};
+
+} // namespace temos
+
+#endif // TEMOS_CORE_ASSUMPTIONGENERATOR_H

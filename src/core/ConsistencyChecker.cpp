@@ -1,0 +1,61 @@
+//===- core/ConsistencyChecker.cpp - Consistency checking (4.2) ------------===//
+
+#include "core/ConsistencyChecker.h"
+
+#include <algorithm>
+
+using namespace temos;
+
+ConsistencyResult
+temos::checkConsistency(const std::vector<const Term *> &Predicates,
+                        Theory Th, Context &Ctx,
+                        const ConsistencyOptions &Options) {
+  ConsistencyResult Result;
+  SmtSolver Solver(Th);
+  const size_t N = Predicates.size();
+  if (N == 0)
+    return Result;
+  assert(N <= 24 && "too many predicates for powerset consistency checking");
+
+  // Combinations already found unsatisfiable (as bitmasks), used to skip
+  // supersets in minimal-core mode.
+  std::vector<uint32_t> UnsatMasks;
+
+  // Enumerate subsets by increasing size so minimal cores are found
+  // before their supersets.
+  for (unsigned Size = 1; Size <= std::min<size_t>(Options.MaxSubsetSize, N);
+       ++Size) {
+    for (uint32_t Mask = 1; Mask < (uint32_t(1) << N); ++Mask) {
+      if (static_cast<unsigned>(__builtin_popcount(Mask)) != Size)
+        continue;
+      if (Options.MinimalCoresOnly) {
+        bool Subsumed = false;
+        for (uint32_t Core : UnsatMasks)
+          if ((Mask & Core) == Core) {
+            Subsumed = true;
+            break;
+          }
+        if (Subsumed)
+          continue;
+      }
+
+      std::vector<TheoryLiteral> Literals;
+      for (size_t I = 0; I < N; ++I)
+        if (Mask & (uint32_t(1) << I))
+          Literals.push_back({Predicates[I], true});
+
+      ++Result.SolverQueries;
+      if (Solver.checkLiterals(Literals) != SatResult::Unsat)
+        continue;
+
+      UnsatMasks.push_back(Mask);
+      // G !(p1 && ... && pk).
+      std::vector<const Formula *> Conjuncts;
+      for (const TheoryLiteral &L : Literals)
+        Conjuncts.push_back(Ctx.Formulas.pred(L.Atom));
+      Result.Assumptions.push_back(Ctx.Formulas.globally(
+          Ctx.Formulas.notF(Ctx.Formulas.andF(std::move(Conjuncts)))));
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,249 @@
+//===- core/Synthesizer.cpp - TSL-MT synthesis pipeline --------------------===//
+
+#include "core/Synthesizer.h"
+
+#include "logic/Simplify.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace temos;
+
+const Formula *Synthesizer::formulaWithAssumptions(
+    const Specification &Spec, const std::vector<const Formula *> &Assumptions) {
+  const Formula *Guar = Spec.guaranteeFormula(Ctx);
+  std::vector<const Formula *> Assume;
+  for (const Formula *A : Spec.Assumptions)
+    Assume.push_back(Ctx.Formulas.globally(A));
+  // Generated assumptions are already G-wrapped by construction.
+  Assume.insert(Assume.end(), Assumptions.begin(), Assumptions.end());
+  if (Assume.empty())
+    return Guar;
+  return Ctx.Formulas.implies(Ctx.Formulas.andF(std::move(Assume)), Guar);
+}
+
+PipelineResult Synthesizer::run(const Specification &Spec,
+                                const PipelineOptions &Options) {
+  return Options.Eager ? runEager(Spec, Options) : runLazy(Spec, Options);
+}
+
+namespace {
+
+/// |phi| for Table 1: total AST size of the user's specification.
+size_t specSize(const Specification &Spec) {
+  size_t Total = 0;
+  for (const Formula *F : Spec.Assumptions)
+    Total += F->size();
+  for (const Formula *F : Spec.AlwaysGuarantees)
+    Total += F->size();
+  for (const Formula *F : Spec.Guarantees)
+    Total += F->size();
+  return Total;
+}
+
+} // namespace
+
+void Synthesizer::generateAssumptions(const Specification &Spec,
+                                      const PipelineOptions &Options,
+                                      AssumptionGenerator &Generator,
+                                      PipelineResult &Result) {
+  Decomposition Decomp = decompose(Spec, Ctx, Options.Decomp);
+  Result.Stats.SpecSize = specSize(Spec);
+  Result.Stats.PredicateCount = Decomp.PredicateLiterals.size();
+  Result.Stats.UpdateTermCount = Decomp.UpdateTerms.size();
+
+  ConsistencyResult Consistency = checkConsistency(
+      Decomp.PredicateLiterals, Spec.Th, Ctx, Options.Consistency);
+  Result.ConsistencyAssumptions = Consistency.Assumptions;
+  Result.Stats.ConsistencyQueries = Consistency.SolverQueries;
+
+  // SyGuS per obligation, with two levels of deduplication: exact
+  // formula identity (hash-consing) and (update chain, post) pairs --
+  // the same program/post with a stronger pre-condition adds nothing.
+  std::vector<const Formula *> SeenAssumptions;
+  std::vector<std::pair<const Formula *, const Formula *>> SeenUpdPost;
+  size_t LoopCount = 0;
+  for (const Obligation &Ob : Decomp.Obligations) {
+    if (Result.SygusAssumptions.size() >= Options.MaxSygusAssumptions)
+      break;
+    auto Generated = Generator.generate(Ob);
+    if (!Generated)
+      continue;
+    if (Generated->IsLoop && LoopCount >= Options.MaxLoopAssumptions)
+      continue;
+    if (std::find(SeenAssumptions.begin(), SeenAssumptions.end(),
+                  Generated->Assumption) != SeenAssumptions.end())
+      continue;
+    auto Pair = std::make_pair(Generated->UpdFormula, Generated->PostFormula);
+    if (std::find(SeenUpdPost.begin(), SeenUpdPost.end(), Pair) !=
+        SeenUpdPost.end())
+      continue;
+    SeenAssumptions.push_back(Generated->Assumption);
+    SeenUpdPost.push_back(Pair);
+    LoopCount += Generated->IsLoop ? 1 : 0;
+    Result.SygusAssumptions.push_back(std::move(*Generated));
+  }
+}
+
+PipelineResult Synthesizer::runEager(const Specification &Spec,
+                                     const PipelineOptions &Options) {
+  PipelineResult Result;
+  Timer PsiTimer;
+
+  // --- Decomposition, consistency checking, SyGuS (Secs. 4.1-4.3). -------
+  AssumptionGenerator Generator(Spec, Ctx);
+  Generator.Opts = Options.Sygus;
+  generateAssumptions(Spec, Options, Generator, Result);
+
+  Result.Stats.PsiGenSeconds = PsiTimer.seconds();
+
+  // --- Reactive synthesis + refinement loop (Sec. 4.4, Alg. 4). ----------
+  Timer SynthTimer;
+  // Per-obligation exclusion lists for refinement.
+  std::vector<std::vector<SequentialProgram>> ExcludedSeq(
+      Result.SygusAssumptions.size());
+  std::vector<std::vector<LoopProgram>> ExcludedLoop(
+      Result.SygusAssumptions.size());
+
+  for (unsigned Round = 0; Round <= Options.MaxRefinements; ++Round) {
+    // Assemble the current assumption set.
+    Result.Assumptions = Result.ConsistencyAssumptions;
+    for (const GeneratedAssumption &A : Result.SygusAssumptions)
+      Result.Assumptions.push_back(A.Assumption);
+    Result.Stats.AssumptionCount = Result.Assumptions.size();
+
+    const Formula *Phi = formulaWithAssumptions(Spec, Result.Assumptions);
+    if (Options.SimplifyBeforeSynthesis)
+      Phi = simplify(Phi, Ctx.Formulas);
+    std::vector<const Formula *> ForAlphabet = Result.Assumptions;
+    ForAlphabet.push_back(Phi);
+    Result.AB = Alphabet::build(Spec, Ctx, ForAlphabet);
+
+    ++Result.Stats.ReactiveRuns;
+    SynthesisResult Reactive =
+        synthesizeLtl(Phi, Ctx, Result.AB, Options.Reactive);
+    Result.Stats.GameStates =
+        std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
+
+    if (Reactive.Status == Realizability::Realizable) {
+      Result.Status = Realizability::Realizable;
+      Result.Machine = std::move(Reactive.Machine);
+      Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+      return Result;
+    }
+    if (Reactive.Status == Realizability::Unknown) {
+      Result.Status = Realizability::Unknown;
+      Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+      return Result;
+    }
+
+    // Unrealizable: look for an "unhelpful" assumption (Alg. 4) -- one
+    // whose update chain can never be executed when its pre-condition
+    // holds, detected by the unsatisfiability of
+    // phi && G(pre -> upd) && F pre. The F pre conjunct makes the check
+    // consider executions where the pre-condition actually occurs
+    // (Example 4.6 implicitly starts from x = 0).
+    // The satisfiability check conjoins the constraints (Example 4.6
+    // checks the plain conjunction): environment assumptions, generated
+    // assumptions, the guarantees, and the committed update chain.
+    std::vector<const Formula *> Conjuncts;
+    for (const Formula *A : Spec.Assumptions)
+      Conjuncts.push_back(Ctx.Formulas.globally(A));
+    Conjuncts.insert(Conjuncts.end(), Result.Assumptions.begin(),
+                     Result.Assumptions.end());
+    Conjuncts.push_back(Spec.guaranteeFormula(Ctx));
+    const Formula *AllConstraints = Ctx.Formulas.andF(std::move(Conjuncts));
+
+    bool Refined = false;
+    for (size_t I = 0; I < Result.SygusAssumptions.size() && !Refined; ++I) {
+      GeneratedAssumption &A = Result.SygusAssumptions[I];
+      const Formula *Guarantee = Generator.refinementGuarantee(A);
+      const Formula *Check = Ctx.Formulas.andF(
+          {AllConstraints, Guarantee,
+           Ctx.Formulas.finallyF(A.PreFormula)});
+      std::vector<const Formula *> CheckExtra = ForAlphabet;
+      CheckExtra.push_back(Check);
+      Alphabet CheckAB = Alphabet::build(Spec, Ctx, CheckExtra);
+      if (isSatisfiable(Check, Ctx, CheckAB))
+        continue; // Helpful (executable) assumption: keep it.
+
+      // Re-run SyGuS, excluding the unhelpful program.
+      if (A.IsLoop)
+        ExcludedLoop[I].push_back(A.Loop);
+      else
+        ExcludedSeq[I].push_back(A.Sequential);
+      auto Replacement =
+          Generator.generate(A.Ob, ExcludedSeq[I], ExcludedLoop[I]);
+      ++Result.Stats.Refinements;
+      if (Replacement) {
+        A = std::move(*Replacement);
+      } else {
+        // No alternative program exists: drop the assumption (dropping
+        // only weakens psi; soundness is preserved).
+        Result.SygusAssumptions.erase(Result.SygusAssumptions.begin() + I);
+        ExcludedSeq.erase(ExcludedSeq.begin() + I);
+        ExcludedLoop.erase(ExcludedLoop.begin() + I);
+      }
+      Refined = true;
+    }
+    if (!Refined)
+      break; // Every assumption is executable: genuinely unrealizable.
+  }
+
+  Result.Status = Realizability::Unrealizable;
+  Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+  return Result;
+}
+
+PipelineResult Synthesizer::runLazy(const Specification &Spec,
+                                    const PipelineOptions &Options) {
+  // Lazy alternative (Sec. 5.2's discussion): add assumptions one at a
+  // time, re-running reactive synthesis after each addition, stopping at
+  // the first realizable set. Generation still happens once up front;
+  // the measured difference is the repeated reactive-synthesis runs.
+  PipelineOptions EagerOptions = Options;
+  EagerOptions.Eager = true;
+
+  PipelineResult Result;
+  Timer PsiTimer;
+  AssumptionGenerator Generator(Spec, Ctx);
+  Generator.Opts = Options.Sygus;
+  generateAssumptions(Spec, Options, Generator, Result);
+  Result.Stats.PsiGenSeconds = PsiTimer.seconds();
+
+  Timer SynthTimer;
+  std::vector<const Formula *> Current = Result.ConsistencyAssumptions;
+  size_t NextSygus = 0;
+  for (;;) {
+    Result.Assumptions = Current;
+    Result.Stats.AssumptionCount = Current.size();
+    const Formula *Phi = formulaWithAssumptions(Spec, Current);
+    if (Options.SimplifyBeforeSynthesis)
+      Phi = simplify(Phi, Ctx.Formulas);
+    std::vector<const Formula *> ForAlphabet = Current;
+    ForAlphabet.push_back(Phi);
+    Result.AB = Alphabet::build(Spec, Ctx, ForAlphabet);
+
+    ++Result.Stats.ReactiveRuns;
+    SynthesisResult Reactive =
+        synthesizeLtl(Phi, Ctx, Result.AB, Options.Reactive);
+    Result.Stats.GameStates =
+        std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
+    if (Reactive.Status == Realizability::Realizable) {
+      Result.Status = Realizability::Realizable;
+      Result.Machine = std::move(Reactive.Machine);
+      break;
+    }
+    if (Reactive.Status == Realizability::Unknown) {
+      Result.Status = Realizability::Unknown;
+      break;
+    }
+    if (NextSygus >= Result.SygusAssumptions.size()) {
+      Result.Status = Realizability::Unrealizable;
+      break;
+    }
+    Current.push_back(Result.SygusAssumptions[NextSygus++].Assumption);
+  }
+  Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+  return Result;
+}

@@ -1,0 +1,112 @@
+//===- core/Synthesizer.h - TSL-MT synthesis pipeline ----------*- C++ -*-===//
+///
+/// \file
+/// The complete temos pipeline (Fig. 3 of the paper):
+///
+///   TSL-MT spec --> syntactic decomposition --> { predicate literals,
+///   TSL spec, data transformation obligations } --> consistency
+///   checking + SyGuS --> TSL with assumptions --> reactive synthesis
+///   (with the Alg. 4 refinement loop) --> reactive program.
+///
+/// The per-phase timings and counts reported in PipelineStats are the
+/// columns of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_CORE_SYNTHESIZER_H
+#define TEMOS_CORE_SYNTHESIZER_H
+
+#include "core/AssumptionGenerator.h"
+#include "core/ConsistencyChecker.h"
+#include "core/Decomposition.h"
+#include "game/BoundedSynthesis.h"
+
+namespace temos {
+
+/// Pipeline tunables.
+struct PipelineOptions {
+  DecompositionOptions Decomp;
+  ConsistencyOptions Consistency;
+  SynthesisOptions Reactive;
+  AssumptionGenerator::Options Sygus;
+  /// Refinement-loop iterations (Alg. 4) before giving up.
+  unsigned MaxRefinements = 8;
+  /// Cap on SyGuS-generated assumptions: assumptions beyond the cap are
+  /// not generated (obligation order gives traversal-derived posts
+  /// priority). Keeps the assumption automaton tractable.
+  size_t MaxSygusAssumptions = 16;
+  /// Separate, tighter cap on W-encoded loop assumptions (Alg. 3): each
+  /// one adds an Until and an Eventually acceptance set to the
+  /// underlying automaton, which the explicit tableau pays for
+  /// exponentially.
+  size_t MaxLoopAssumptions = 3;
+  /// Apply the equivalence-preserving formula simplifier to the final
+  /// TSL-with-assumptions formula before automaton construction.
+  bool SimplifyBeforeSynthesis = true;
+  /// Eager mode (the paper's approach) generates every assumption up
+  /// front. Lazy mode adds assumptions one at a time, re-running
+  /// reactive synthesis after each -- the alternative discussed in
+  /// Sec. 5.2, implemented for the ablation bench.
+  bool Eager = true;
+};
+
+/// Table 1's per-benchmark columns.
+struct PipelineStats {
+  size_t SpecSize = 0;        // |phi|
+  size_t PredicateCount = 0;  // |P|
+  size_t UpdateTermCount = 0; // |F|
+  size_t AssumptionCount = 0; // |psi|
+  double PsiGenSeconds = 0;   // psi generation
+  double SynthesisSeconds = 0; // TSL synthesis
+  unsigned Refinements = 0;
+  unsigned ReactiveRuns = 0;
+  size_t GameStates = 0;
+  size_t ConsistencyQueries = 0;
+};
+
+/// Result of running the pipeline.
+struct PipelineResult {
+  Realizability Status = Realizability::Unknown;
+  std::optional<MealyMachine> Machine;
+  /// Alphabet used for the final (successful) reactive synthesis run.
+  Alphabet AB;
+  /// All assumptions fed to reactive synthesis.
+  std::vector<const Formula *> Assumptions;
+  std::vector<const Formula *> ConsistencyAssumptions;
+  std::vector<GeneratedAssumption> SygusAssumptions;
+  PipelineStats Stats;
+};
+
+/// The TSL-MT synthesizer.
+class Synthesizer {
+public:
+  explicit Synthesizer(Context &Ctx) : Ctx(Ctx) {}
+
+  /// Runs the full pipeline on \p Spec.
+  PipelineResult run(const Specification &Spec,
+                     const PipelineOptions &Options = {});
+
+  /// Builds the "TSL with assumptions" formula
+  /// (assumptions && psi) -> guarantees for a given assumption set.
+  const Formula *formulaWithAssumptions(
+      const Specification &Spec,
+      const std::vector<const Formula *> &Assumptions);
+
+private:
+  PipelineResult runEager(const Specification &Spec,
+                          const PipelineOptions &Options);
+  PipelineResult runLazy(const Specification &Spec,
+                         const PipelineOptions &Options);
+  /// Shared front half: decomposition, consistency checking and SyGuS
+  /// assumption generation (with semantic deduplication).
+  void generateAssumptions(const Specification &Spec,
+                           const PipelineOptions &Options,
+                           AssumptionGenerator &Generator,
+                           PipelineResult &Result);
+
+  Context &Ctx;
+};
+
+} // namespace temos
+
+#endif // TEMOS_CORE_SYNTHESIZER_H

@@ -1,0 +1,357 @@
+//===- game/BoundedSynthesis.cpp - Bounded LTL synthesis -------------------===//
+
+#include "game/BoundedSynthesis.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+using namespace temos;
+
+namespace {
+
+/// A state of the k-counting game: counters for the *active* UCW states
+/// only, sorted by state id (sparse -- UCWs run to thousands of states
+/// while only a handful are active at a time).
+using CountVector = std::vector<std::pair<uint32_t, uint8_t>>;
+
+std::string countKey(const CountVector &Counts) {
+  std::string Key;
+  Key.reserve(Counts.size() * 5);
+  for (const auto &[State, Count] : Counts) {
+    Key.append(reinterpret_cast<const char *>(&State), 4);
+    Key.push_back(static_cast<char>(Count));
+  }
+  return Key;
+}
+
+/// Letter-indexed UCW successor cache, shared by the games for every
+/// counter bound (the transition relation does not depend on k).
+struct SuccessorCache {
+  SuccessorCache(const Nba &Ucw, const Alphabet &AB)
+      : Ucw(Ucw), AB(AB), Live(Ucw.liveStates()) {
+    OutputChoices.reserve(AB.outputLetterCount());
+    for (uint32_t O = 0; O < AB.outputLetterCount(); ++O)
+      OutputChoices.push_back(AB.decodeOutput(O));
+    NumLetters = AB.inputLetterCount() * AB.outputLetterCount();
+    SuccOffsets.assign(Ucw.stateCount(), {});
+  }
+
+  /// Successor list of UCW state \p Q under a concrete letter; guard
+  /// matching happens once per (state, letter) pair.
+  const std::pair<uint32_t, uint32_t> &get(uint32_t Q, uint32_t InputBits,
+                                           uint32_t Output) {
+    std::vector<std::pair<uint32_t, uint32_t>> &PerLetter = SuccOffsets[Q];
+    if (PerLetter.empty()) {
+      PerLetter.assign(NumLetters, {0, 0});
+      for (uint32_t In = 0; In < AB.inputLetterCount(); ++In) {
+        for (uint32_t Out = 0; Out < AB.outputLetterCount(); ++Out) {
+          uint32_t Offset = static_cast<uint32_t>(SuccArena.size());
+          for (const Nba::Transition &T : Ucw.transitions(Q)) {
+            // Runs through non-live states never reject: drop them.
+            if (!Live[T.Target])
+              continue;
+            if (!T.Guard.matches(In, OutputChoices[Out]))
+              continue;
+            bool Found = false;
+            for (size_t I = Offset; I < SuccArena.size(); ++I)
+              if (SuccArena[I].first == T.Target) {
+                SuccArena[I].second |= T.Accepting ? 1 : 0;
+                Found = true;
+                break;
+              }
+            if (!Found)
+              SuccArena.emplace_back(T.Target, T.Accepting ? 1 : 0);
+          }
+          PerLetter[In * AB.outputLetterCount() + Out] = {
+              Offset, static_cast<uint32_t>(SuccArena.size()) - Offset};
+        }
+      }
+    }
+    return PerLetter[InputBits * AB.outputLetterCount() + Output];
+  }
+
+  const Nba &Ucw;
+  const Alphabet &AB;
+  std::vector<bool> Live;
+  std::vector<std::vector<unsigned>> OutputChoices;
+  size_t NumLetters = 0;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> SuccOffsets;
+  std::vector<std::pair<uint32_t, uint8_t>> SuccArena;
+};
+
+/// The k-counting safety game over the UCW.
+class CountingGame {
+public:
+  CountingGame(const Nba &Ucw, const Alphabet &AB, SuccessorCache &Cache,
+               unsigned Bound, size_t StateBudget)
+      : Ucw(Ucw), AB(AB), Cache(Cache), Bound(Bound),
+        StateBudget(StateBudget) {}
+
+  /// Explores the reachable game graph. Returns false if the state
+  /// budget is exceeded.
+  bool explore();
+
+  /// Solves the safety condition. Returns true if the initial state is
+  /// winning for the system.
+  bool solve();
+
+  /// Extracts the winning strategy as a Mealy machine. Requires solve()
+  /// returned true.
+  MealyMachine extractStrategy() const;
+
+  size_t stateCount() const { return States.size(); }
+
+private:
+  /// Successor counting state, or nullopt if a counter overflows the
+  /// bound (unsafe).
+  std::optional<CountVector> successor(const CountVector &Counts,
+                                       uint32_t InputBits, uint32_t Output);
+  uint32_t internState(const CountVector &Counts);
+
+  const Nba &Ucw;
+  const Alphabet &AB;
+  SuccessorCache &Cache;
+  unsigned Bound;
+  size_t StateBudget;
+
+  std::vector<int16_t> Scratch;
+  std::vector<uint32_t> Touched;
+  std::vector<CountVector> States;
+  std::unordered_map<std::string, uint32_t> StateIds;
+  /// Moves[state][input] = list of (output, successor id); only safe
+  /// successors are recorded.
+  std::vector<std::vector<std::vector<std::pair<uint32_t, uint32_t>>>> Moves;
+  std::vector<bool> Winning;
+};
+
+uint32_t CountingGame::internState(const CountVector &Counts) {
+  std::string Key = countKey(Counts);
+  auto It = StateIds.find(Key);
+  if (It != StateIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(States.size());
+  StateIds.emplace(std::move(Key), Id);
+  States.push_back(Counts);
+  return Id;
+}
+
+std::optional<CountVector>
+CountingGame::successor(const CountVector &Counts, uint32_t InputBits,
+                        uint32_t Output) {
+  // Dense scratch, reused across calls; Touched tracks what to reset.
+  if (Scratch.size() < Ucw.stateCount())
+    Scratch.assign(Ucw.stateCount(), -1);
+  Touched.clear();
+
+  bool Overflow = false;
+  for (const auto &[Q, Count] : Counts) {
+    auto [Offset, Length] = Cache.get(Q, InputBits, Output);
+    for (uint32_t I = Offset; I < Offset + Length; ++I) {
+      auto [Target, Accepting] = Cache.SuccArena[I];
+      int NewCount = Count + Accepting;
+      if (NewCount > static_cast<int>(Bound)) {
+        Overflow = true;
+        break;
+      }
+      if (Scratch[Target] < 0)
+        Touched.push_back(Target);
+      if (Scratch[Target] < NewCount)
+        Scratch[Target] = static_cast<int16_t>(NewCount);
+    }
+    if (Overflow)
+      break;
+  }
+
+  std::optional<CountVector> Result;
+  if (!Overflow) {
+    std::sort(Touched.begin(), Touched.end());
+    CountVector Next;
+    Next.reserve(Touched.size());
+    for (uint32_t T : Touched)
+      Next.emplace_back(T, static_cast<uint8_t>(Scratch[T]));
+    Result = std::move(Next);
+  }
+  for (uint32_t T : Touched)
+    Scratch[T] = -1;
+  return Result;
+}
+
+bool CountingGame::explore() {
+  CountVector InitialCounts = {{Ucw.initial(), 0}};
+  uint32_t InitialId = internState(InitialCounts);
+  (void)InitialId;
+
+  const size_t NumInputs = AB.inputLetterCount();
+  const size_t NumOutputs = AB.outputLetterCount();
+
+  std::deque<uint32_t> Queue;
+  Queue.push_back(0);
+  size_t Processed = 0;
+  while (!Queue.empty()) {
+    uint32_t S = Queue.front();
+    Queue.pop_front();
+    if (S < Moves.size() && !Moves[S].empty())
+      continue; // Already expanded.
+    if (Moves.size() <= S)
+      Moves.resize(States.size());
+    Moves[S].assign(NumInputs, {});
+    ++Processed;
+
+    for (uint32_t In = 0; In < NumInputs; ++In) {
+      for (uint32_t Out = 0; Out < NumOutputs; ++Out) {
+        auto Next = successor(States[S], In, Out);
+        if (!Next)
+          continue;
+        size_t Before = States.size();
+        uint32_t Target = internState(*Next);
+        if (States.size() > StateBudget)
+          return false;
+        if (States.size() != Before)
+          Queue.push_back(Target);
+        Moves[S][In].emplace_back(Out, Target);
+      }
+    }
+  }
+  Moves.resize(States.size());
+  return true;
+}
+
+bool CountingGame::solve() {
+  // Greatest fixpoint: a state is winning while for every input some
+  // output leads to a winning state. Iterate removal until stable.
+  Winning.assign(States.size(), true);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t S = 0; S < States.size(); ++S) {
+      if (!Winning[S])
+        continue;
+      bool Safe = true;
+      for (const auto &PerInput : Moves[S]) {
+        bool SomeOutputWins = false;
+        for (const auto &[Out, Target] : PerInput) {
+          (void)Out;
+          if (Winning[Target]) {
+            SomeOutputWins = true;
+            break;
+          }
+        }
+        if (!SomeOutputWins) {
+          Safe = false;
+          break;
+        }
+      }
+      if (!Safe) {
+        Winning[S] = false;
+        Changed = true;
+      }
+    }
+  }
+  return !States.empty() && Winning[0];
+}
+
+MealyMachine CountingGame::extractStrategy() const {
+  const size_t NumInputs = AB.inputLetterCount();
+
+  // Collect the winning states reachable under the least-output
+  // strategy and renumber them densely.
+  std::unordered_map<uint32_t, uint32_t> Renumber;
+  std::vector<uint32_t> Order;
+  std::deque<uint32_t> Queue;
+  Renumber.emplace(0, 0);
+  Order.push_back(0);
+  Queue.push_back(0);
+
+  // Chosen move per (game state, input).
+  std::vector<std::vector<uint32_t>> ChosenOutput;
+  std::vector<std::vector<uint32_t>> ChosenTarget;
+
+  while (!Queue.empty()) {
+    uint32_t S = Queue.front();
+    Queue.pop_front();
+    for (uint32_t In = 0; In < NumInputs; ++In) {
+      uint32_t PickedOutput = 0;
+      uint32_t PickedTarget = 0;
+      bool Found = false;
+      for (const auto &[Out, Target] : Moves[S][In]) {
+        if (Winning[Target]) {
+          PickedOutput = Out;
+          PickedTarget = Target;
+          Found = true;
+          break;
+        }
+      }
+      assert(Found && "winning state lost on some input");
+      (void)Found;
+      if (!Renumber.count(PickedTarget)) {
+        Renumber.emplace(PickedTarget,
+                         static_cast<uint32_t>(Order.size()));
+        Order.push_back(PickedTarget);
+        Queue.push_back(PickedTarget);
+      }
+      if (ChosenOutput.size() < Order.size()) {
+        ChosenOutput.resize(Order.size());
+        ChosenTarget.resize(Order.size());
+      }
+      uint32_t Dense = Renumber.at(S);
+      if (ChosenOutput[Dense].empty()) {
+        ChosenOutput[Dense].assign(NumInputs, 0);
+        ChosenTarget[Dense].assign(NumInputs, 0);
+      }
+      ChosenOutput[Dense][In] = PickedOutput;
+      ChosenTarget[Dense][In] = Renumber.at(PickedTarget);
+    }
+  }
+
+  MealyMachine M(Order.size(), NumInputs);
+  M.setInitialState(0);
+  for (uint32_t Dense = 0; Dense < Order.size(); ++Dense)
+    for (uint32_t In = 0; In < NumInputs; ++In)
+      M.setEdge(Dense, In,
+                {ChosenOutput[Dense][In], ChosenTarget[Dense][In]});
+  return M;
+}
+
+} // namespace
+
+SynthesisResult temos::synthesizeLtl(const Formula *Spec, Context &Ctx,
+                                     const Alphabet &AB,
+                                     const SynthesisOptions &Options) {
+  SynthesisResult Result;
+
+  // UCW = NBA of the negated specification.
+  const Formula *Negated = Ctx.Formulas.notF(Spec);
+  Nba Ucw = buildNba(Negated, Ctx, AB, &Result.Stats.Tableau);
+  if (Result.Stats.Tableau.BudgetExceeded) {
+    Result.Status = Realizability::Unknown;
+    return Result;
+  }
+
+  SuccessorCache Cache(Ucw, AB);
+  for (unsigned Bound : Options.BoundSchedule) {
+    CountingGame Game(Ucw, AB, Cache, Bound, Options.StateBudget);
+    if (!Game.explore()) {
+      Result.Status = Realizability::Unknown;
+      Result.Stats.GameStates = Game.stateCount();
+      return Result;
+    }
+    if (Game.solve()) {
+      Result.Status = Realizability::Realizable;
+      Result.Stats.BoundUsed = Bound;
+      Result.Stats.GameStates = Game.stateCount();
+      Result.Machine = Game.extractStrategy();
+      return Result;
+    }
+    Result.Stats.GameStates =
+        std::max(Result.Stats.GameStates, Game.stateCount());
+  }
+  Result.Status = Realizability::Unrealizable;
+  return Result;
+}
+
+Realizability temos::checkRealizable(const Formula *Spec, Context &Ctx,
+                                     const Alphabet &AB,
+                                     const SynthesisOptions &Options) {
+  return synthesizeLtl(Spec, Ctx, AB, Options).Status;
+}

@@ -1,0 +1,78 @@
+//===- game/BoundedSynthesis.h - Bounded LTL synthesis ---------*- C++ -*-===//
+///
+/// \file
+/// Bounded synthesis (Schewe/Finkbeiner; the BoSy approach) as the
+/// reactive-synthesis engine, replacing Strix in the paper's pipeline
+/// (Sec. 5.1): the negated specification is turned into an NBA, read as
+/// a universal co-Buechi automaton, and for increasing counter bounds k
+/// the k-counting determinization is solved as a safety game between
+/// the environment (picks predicate valuations) and the system (picks
+/// one update per cell). A winning system strategy is extracted as a
+/// Mealy machine.
+///
+/// Unrealizability is approximate: if no bound in the schedule
+/// admits a strategy, the problem is reported Unrealizable. This mirrors
+/// the incompleteness the paper accepts (Sec. 4.5: "most existing SyGuS
+/// solvers do not halt on unrealizable inputs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_GAME_BOUNDEDSYNTHESIS_H
+#define TEMOS_GAME_BOUNDEDSYNTHESIS_H
+
+#include "automata/Tableau.h"
+#include "game/Mealy.h"
+
+#include <optional>
+
+namespace temos {
+
+/// Realizability verdict.
+enum class Realizability {
+  Realizable,
+  /// No strategy up to the configured counter bound / state budget.
+  Unrealizable,
+  /// Resource budget exceeded.
+  Unknown,
+};
+
+/// Tunables for the bounded synthesis loop.
+struct SynthesisOptions {
+  /// Counter bounds tried, in order. Realizability is monotone in k, so
+  /// trying a mid-size bound first skips the small-k explorations that
+  /// liveness specs always fail (and costs nothing extra on safety
+  /// specs, whose counters never move).
+  std::vector<unsigned> BoundSchedule = {1, 3};
+  /// Abort when a single game exceeds this many counting states.
+  size_t StateBudget = 500000;
+};
+
+/// Statistics of one synthesis run.
+struct SynthesisStats {
+  unsigned BoundUsed = 0;
+  size_t GameStates = 0;
+  TableauStats Tableau;
+};
+
+/// Result of reactive synthesis.
+struct SynthesisResult {
+  Realizability Status = Realizability::Unknown;
+  std::optional<MealyMachine> Machine;
+  SynthesisStats Stats;
+};
+
+/// Synthesizes a Mealy machine realizing \p Spec over \p AB, or reports
+/// (bounded) unrealizability.
+SynthesisResult synthesizeLtl(const Formula *Spec, Context &Ctx,
+                              const Alphabet &AB,
+                              const SynthesisOptions &Options = {});
+
+/// Realizability only (no strategy extraction); used by the Fig. 4
+/// oracle's minimization loop.
+Realizability checkRealizable(const Formula *Spec, Context &Ctx,
+                              const Alphabet &AB,
+                              const SynthesisOptions &Options = {});
+
+} // namespace temos
+
+#endif // TEMOS_GAME_BOUNDEDSYNTHESIS_H

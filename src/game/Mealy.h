@@ -1,0 +1,60 @@
+//===- game/Mealy.h - Mealy machines ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Explicit Mealy machines: the strategies extracted from the bounded
+/// synthesis game. An input letter is a predicate-valuation bitset and
+/// an output letter is one update choice per cell (see
+/// tsl2ltl/Alphabet.h). This is our stand-in for the paper's Control
+/// Flow Model (CFM) representation [18]; the codegen module renders it
+/// as JavaScript/C++ or executes it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_GAME_MEALY_H
+#define TEMOS_GAME_MEALY_H
+
+#include "tsl2ltl/Alphabet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace temos {
+
+/// A deterministic Mealy machine over the factored alphabet.
+class MealyMachine {
+public:
+  /// Reaction to one input letter.
+  struct Edge {
+    uint32_t Output = 0;
+    uint32_t NextState = 0;
+  };
+
+  MealyMachine() = default;
+  MealyMachine(size_t NumStates, size_t NumInputs)
+      : Table(NumStates, std::vector<Edge>(NumInputs)) {}
+
+  size_t stateCount() const { return Table.size(); }
+  size_t inputCount() const { return Table.empty() ? 0 : Table[0].size(); }
+  uint32_t initialState() const { return Initial; }
+  void setInitialState(uint32_t S) { Initial = S; }
+
+  const Edge &edge(uint32_t State, uint32_t InputBits) const {
+    return Table[State][InputBits];
+  }
+  void setEdge(uint32_t State, uint32_t InputBits, Edge E) {
+    Table[State][InputBits] = E;
+  }
+
+  /// Runs one step from \p State on \p InputBits.
+  Edge step(uint32_t State, uint32_t InputBits) const {
+    return Table[State][InputBits];
+  }
+
+private:
+  std::vector<std::vector<Edge>> Table;
+  uint32_t Initial = 0;
+};
+
+} // namespace temos
+
+#endif // TEMOS_GAME_MEALY_H

@@ -1,0 +1,863 @@
+//===- logic/Parser.cpp - TSL-MT concrete syntax parser -------------------===//
+
+#include "logic/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace temos;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokenKind {
+  Ident,
+  Number,
+  Punct,
+  End,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text;
+  size_t Line = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isPunct(const char *P) const {
+    return Kind == TokenKind::Punct && Text == P;
+  }
+  bool isIdent(const char *I) const {
+    return Kind == TokenKind::Ident && Text == I;
+  }
+};
+
+class Lexer {
+public:
+  Lexer(const std::string &Source) : Source(Source) { tokenize(); }
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+  bool hadError() const { return !ErrorMessage.empty(); }
+  const std::string &errorMessage() const { return ErrorMessage; }
+  size_t errorLine() const { return ErrorLine; }
+
+private:
+  void tokenize();
+  void fail(const std::string &Message) {
+    if (ErrorMessage.empty()) {
+      ErrorMessage = Message;
+      ErrorLine = Line;
+    }
+  }
+
+  const std::string &Source;
+  std::vector<Token> Tokens;
+  std::string ErrorMessage;
+  size_t Line = 1;
+  size_t ErrorLine = 1;
+};
+
+void Lexer::tokenize() {
+  size_t I = 0;
+  const size_t N = Source.size();
+  // Multi-character punctuation, longest first (maximal munch).
+  static const char *MultiPunct[] = {"<->", "<-", "<=", ">=", "->", "&&",
+                                     "||", "!=", "=="};
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Line comments: // ... \n.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_' || Source[I] == '\''))
+        ++I;
+      Tokens.push_back({TokenKind::Ident, Source.substr(Start, I - Start),
+                        Line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '.'))
+        ++I;
+      Tokens.push_back({TokenKind::Number, Source.substr(Start, I - Start),
+                        Line});
+      continue;
+    }
+    bool Matched = false;
+    for (const char *P : MultiPunct) {
+      size_t Len = std::string(P).size();
+      if (Source.compare(I, Len, P) == 0) {
+        Tokens.push_back({TokenKind::Punct, P, Line});
+        I += Len;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    static const std::string Single = "{}()[];,=<>+-*/!#";
+    if (Single.find(C) != std::string::npos) {
+      Tokens.push_back({TokenKind::Punct, std::string(1, C), Line});
+      ++I;
+      continue;
+    }
+    fail(std::string("unexpected character '") + C + "'");
+    return;
+  }
+  Tokens.push_back({TokenKind::End, "", Line});
+}
+
+//===----------------------------------------------------------------------===//
+// Expression values: a parsed expression is a Term, a Formula, or (for
+// Bool-sorted terms) convertible between the two.
+//===----------------------------------------------------------------------===//
+
+struct ExprValue {
+  const Term *T = nullptr;
+  const Formula *F = nullptr;
+
+  bool isTerm() const { return T != nullptr; }
+  bool isFormula() const { return F != nullptr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+struct BuiltinFunction {
+  const char *Canonical;
+  int Arity;
+};
+
+/// Maps surface function names to canonical operator names. Both the
+/// word spelling ("lte") and the symbol spelling ("<=") are accepted.
+const std::unordered_map<std::string, BuiltinFunction> &builtinFunctions() {
+  static const std::unordered_map<std::string, BuiltinFunction> Map = {
+      {"add", {"+", 2}},  {"sub", {"-", 2}},  {"mul", {"*", 2}},
+      {"eq", {"=", 2}},   {"neq", {"!=", 2}}, {"lt", {"<", 2}},
+      {"lte", {"<=", 2}}, {"leq", {"<=", 2}}, {"gt", {">", 2}},
+      {"gte", {">=", 2}}, {"geq", {">=", 2}},
+  };
+  return Map;
+}
+
+class Parser {
+public:
+  Parser(const std::string &Source, Context &Ctx, ParseError &Err)
+      : Lex(Source), Ctx(Ctx), Err(Err) {}
+
+  std::optional<Specification> parseSpec();
+  const Formula *parseSingleFormula(const Specification &Against);
+
+private:
+  // Token plumbing.
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    const auto &Tokens = Lex.tokens();
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token take() {
+    Token T = peek();
+    if (Pos + 1 < Lex.tokens().size())
+      ++Pos;
+    return T;
+  }
+  bool acceptPunct(const char *P) {
+    if (!peek().isPunct(P))
+      return false;
+    take();
+    return true;
+  }
+  bool acceptIdent(const char *I) {
+    if (!peek().isIdent(I))
+      return false;
+    take();
+    return true;
+  }
+  bool expectPunct(const char *P);
+  bool fail(const std::string &Message);
+
+  // Declarations.
+  bool parseHeader();
+  bool parseSignalBlock(std::vector<SignalDecl> &Out);
+  bool parseCellBlock();
+  bool parseFunctionBlock();
+  bool parseFormulaBlock(std::vector<const Formula *> &Out);
+
+  // Expressions. Precedence climbing; levels from loosest to tightest:
+  //   iff < implies < or < and < until/weakuntil/release
+  //       < comparison < additive < multiplicative < prefix < application.
+  ExprValue parseIff();
+  ExprValue parseImplies();
+  ExprValue parseOr();
+  ExprValue parseAnd();
+  ExprValue parseUntil();
+  ExprValue parseComparison();
+  ExprValue parseAdditive();
+  ExprValue parseMultiplicative();
+  ExprValue parsePrefix();
+  ExprValue parsePrimary();
+  /// A primary that can appear as a juxtaposed application argument:
+  /// identifier, numeral, nullary call, or parenthesized term.
+  const Term *parseArgumentTerm();
+
+  const Formula *asFormula(const ExprValue &V);
+  const Term *asTerm(const ExprValue &V);
+  const Term *applyFunction(const std::string &Name,
+                            const std::vector<const Term *> &Args);
+  Sort numeralSort() const {
+    return Spec.Th == Theory::LRA ? Sort::Real : Sort::Int;
+  }
+
+  Lexer Lex;
+  Context &Ctx;
+  ParseError &Err;
+  size_t Pos = 0;
+  bool Failed = false;
+  Specification Spec;
+};
+
+bool Parser::fail(const std::string &Message) {
+  if (!Failed) {
+    Failed = true;
+    Err.Line = peek().Line;
+    Err.Message = Message;
+  }
+  return false;
+}
+
+bool Parser::expectPunct(const char *P) {
+  if (acceptPunct(P))
+    return true;
+  return fail(std::string("expected '") + P + "' but found '" + peek().Text +
+              "'");
+}
+
+bool Parser::parseHeader() {
+  // Optional "#LIA#"-style theory annotation.
+  if (!peek().isPunct("#"))
+    return true;
+  take();
+  Token Name = take();
+  if (!Name.is(TokenKind::Ident))
+    return fail("expected theory name after '#'");
+  if (Name.Text == "LIA")
+    Spec.Th = Theory::LIA;
+  else if (Name.Text == "RA" || Name.Text == "LRA")
+    Spec.Th = Theory::LRA;
+  else if (Name.Text == "UF" || Name.Text == "TSL")
+    Spec.Th = Theory::UF;
+  else
+    return fail("unknown theory '" + Name.Text + "' (expected LIA/RA/UF)");
+  return expectPunct("#");
+}
+
+bool Parser::parseSignalBlock(std::vector<SignalDecl> &Out) {
+  if (!expectPunct("{"))
+    return false;
+  while (!acceptPunct("}")) {
+    Token SortTok = take();
+    Sort S;
+    if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, S))
+      return fail("expected sort name, found '" + SortTok.Text + "'");
+    do {
+      Token Name = take();
+      if (!Name.is(TokenKind::Ident))
+        return fail("expected signal name");
+      Out.push_back({Name.Text, S});
+    } while (acceptPunct(","));
+    if (!expectPunct(";"))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseCellBlock() {
+  if (!expectPunct("{"))
+    return false;
+  while (!acceptPunct("}")) {
+    Token SortTok = take();
+    Sort S;
+    if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, S))
+      return fail("expected sort name, found '" + SortTok.Text + "'");
+    Token Name = take();
+    if (!Name.is(TokenKind::Ident))
+      return fail("expected cell name");
+    const Term *Init = nullptr;
+    if (acceptPunct("=")) {
+      ExprValue V = parseComparison();
+      if (Failed)
+        return false;
+      Init = asTerm(V);
+      if (!Init)
+        return false;
+    }
+    Spec.Cells.push_back({Name.Text, S, Init});
+    if (!expectPunct(";"))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseFunctionBlock() {
+  if (!expectPunct("{"))
+    return false;
+  while (!acceptPunct("}")) {
+    Token SortTok = take();
+    Sort Result;
+    if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, Result))
+      return fail("expected sort name, found '" + SortTok.Text + "'");
+    Token Name = take();
+    if (!Name.is(TokenKind::Ident))
+      return fail("expected function name");
+    if (!expectPunct("("))
+      return false;
+    std::vector<Sort> Params;
+    if (!peek().isPunct(")")) {
+      do {
+        Token P = take();
+        Sort PS;
+        if (!P.is(TokenKind::Ident) || !parseSort(P.Text, PS))
+          return fail("expected parameter sort");
+        Params.push_back(PS);
+      } while (acceptPunct(","));
+    }
+    if (!expectPunct(")") || !expectPunct(";"))
+      return false;
+    Spec.Functions.push_back({Name.Text, Result, Params});
+  }
+  return true;
+}
+
+bool Parser::parseFormulaBlock(std::vector<const Formula *> &Out) {
+  if (!expectPunct("{"))
+    return false;
+  while (!acceptPunct("}")) {
+    ExprValue V = parseIff();
+    if (Failed)
+      return false;
+    const Formula *F = asFormula(V);
+    if (!F)
+      return false;
+    Out.push_back(F);
+    if (!expectPunct(";"))
+      return false;
+  }
+  return true;
+}
+
+std::optional<Specification> Parser::parseSpec() {
+  if (Lex.hadError()) {
+    Err.Line = Lex.errorLine();
+    Err.Message = Lex.errorMessage();
+    return std::nullopt;
+  }
+  if (!parseHeader())
+    return std::nullopt;
+  while (!peek().is(TokenKind::End)) {
+    if (acceptIdent("inputs")) {
+      if (!parseSignalBlock(Spec.Inputs))
+        return std::nullopt;
+    } else if (acceptIdent("outputs")) {
+      if (!parseSignalBlock(Spec.Outputs))
+        return std::nullopt;
+    } else if (acceptIdent("cells")) {
+      if (!parseCellBlock())
+        return std::nullopt;
+    } else if (acceptIdent("functions")) {
+      if (!parseFunctionBlock())
+        return std::nullopt;
+    } else if (acceptIdent("always")) {
+      if (acceptIdent("assume")) {
+        if (!parseFormulaBlock(Spec.Assumptions))
+          return std::nullopt;
+      } else if (acceptIdent("guarantee")) {
+        if (!parseFormulaBlock(Spec.AlwaysGuarantees))
+          return std::nullopt;
+      } else {
+        fail("expected 'assume' or 'guarantee' after 'always'");
+        return std::nullopt;
+      }
+    } else if (acceptIdent("guarantee")) {
+      if (!parseFormulaBlock(Spec.Guarantees))
+        return std::nullopt;
+    } else if (acceptIdent("spec")) {
+      Token Name = take();
+      if (!Name.is(TokenKind::Ident)) {
+        fail("expected specification name after 'spec'");
+        return std::nullopt;
+      }
+      Spec.Name = Name.Text;
+    } else {
+      fail("expected a block keyword, found '" + peek().Text + "'");
+      return std::nullopt;
+    }
+  }
+  return std::move(Spec);
+}
+
+const Formula *Parser::parseSingleFormula(const Specification &Against) {
+  if (Lex.hadError()) {
+    Err.Line = Lex.errorLine();
+    Err.Message = Lex.errorMessage();
+    return nullptr;
+  }
+  Spec = Against; // Borrow declarations for symbol lookup.
+  ExprValue V = parseIff();
+  if (Failed)
+    return nullptr;
+  if (!peek().is(TokenKind::End)) {
+    fail("trailing input after formula: '" + peek().Text + "'");
+    return nullptr;
+  }
+  return asFormula(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression parsing
+//===----------------------------------------------------------------------===//
+
+const Formula *Parser::asFormula(const ExprValue &V) {
+  if (Failed)
+    return nullptr;
+  if (V.isFormula())
+    return V.F;
+  if (V.isTerm()) {
+    if (V.T->sort() != Sort::Bool) {
+      fail("term '" + V.T->str() + "' used as a formula but has sort " +
+           sortName(V.T->sort()));
+      return nullptr;
+    }
+    return Ctx.Formulas.pred(V.T);
+  }
+  fail("expected a formula");
+  return nullptr;
+}
+
+const Term *Parser::asTerm(const ExprValue &V) {
+  if (Failed)
+    return nullptr;
+  if (V.isTerm())
+    return V.T;
+  fail("expected a term, found a temporal formula");
+  return nullptr;
+}
+
+const Term *Parser::applyFunction(const std::string &Name,
+                                  const std::vector<const Term *> &Args) {
+  // Canonical builtins.
+  std::string Canonical = Name;
+  if (auto It = builtinFunctions().find(Name); It != builtinFunctions().end())
+    Canonical = It->second.Canonical;
+
+  static const std::unordered_map<std::string, int> Builtins = {
+      {"+", 2}, {"-", 2}, {"*", 2}, {"=", 2},  {"!=", 2},
+      {"<", 2}, {"<=", 2}, {">", 2}, {">=", 2},
+  };
+  if (auto It = Builtins.find(Canonical); It != Builtins.end()) {
+    if (static_cast<int>(Args.size()) != It->second) {
+      fail("builtin '" + Canonical + "' expects " +
+           std::to_string(It->second) + " arguments, got " +
+           std::to_string(Args.size()));
+      return nullptr;
+    }
+    bool IsComparison = Canonical == "=" || Canonical == "!=" ||
+                        Canonical == "<" || Canonical == "<=" ||
+                        Canonical == ">" || Canonical == ">=";
+    Sort Result;
+    if (IsComparison) {
+      Result = Sort::Bool;
+    } else {
+      Result = Sort::Int;
+      for (const Term *Arg : Args)
+        if (Arg->sort() == Sort::Real)
+          Result = Sort::Real;
+    }
+    return Ctx.Terms.apply(Canonical, Result, Args);
+  }
+
+  // Declared functions.
+  for (const FunctionDecl &D : Spec.Functions) {
+    if (D.Name != Name)
+      continue;
+    if (D.Params.size() != Args.size()) {
+      fail("function '" + Name + "' expects " +
+           std::to_string(D.Params.size()) + " arguments, got " +
+           std::to_string(Args.size()));
+      return nullptr;
+    }
+    return Ctx.Terms.apply(Name, D.Result, Args);
+  }
+
+  // "cN()"-style numeric constants (Fig. 5 uses c10(), c1()).
+  if (Args.empty() && Name.size() > 1 && Name[0] == 'c' &&
+      std::isdigit(static_cast<unsigned char>(Name[1]))) {
+    Rational Value;
+    if (Rational::parse(Name.substr(1), Value))
+      return Ctx.Terms.numeral(Value, numeralSort());
+  }
+  // Boolean constants True()/False().
+  if (Args.empty() && (Name == "True" || Name == "False"))
+    return Ctx.Terms.apply(Name, Sort::Bool, {});
+  // Other nullary symbols default to opaque constants (e.g. idle()).
+  if (Args.empty())
+    return Ctx.Terms.apply(Name, Sort::Opaque, {});
+
+  fail("unknown function '" + Name + "'; declare it in a functions block");
+  return nullptr;
+}
+
+ExprValue Parser::parseIff() {
+  ExprValue Left = parseImplies();
+  while (!Failed && peek().isPunct("<->")) {
+    take();
+    ExprValue Right = parseImplies();
+    const Formula *A = asFormula(Left);
+    const Formula *B = asFormula(Right);
+    if (!A || !B)
+      return {};
+    Left = {nullptr, Ctx.Formulas.iff(A, B)};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseImplies() {
+  ExprValue Left = parseOr();
+  if (Failed || !peek().isPunct("->"))
+    return Left;
+  take();
+  ExprValue Right = parseImplies(); // Right-associative.
+  const Formula *A = asFormula(Left);
+  const Formula *B = asFormula(Right);
+  if (!A || !B)
+    return {};
+  return {nullptr, Ctx.Formulas.implies(A, B)};
+}
+
+ExprValue Parser::parseOr() {
+  ExprValue Left = parseAnd();
+  while (!Failed && peek().isPunct("||")) {
+    take();
+    ExprValue Right = parseAnd();
+    const Formula *A = asFormula(Left);
+    const Formula *B = asFormula(Right);
+    if (!A || !B)
+      return {};
+    Left = {nullptr, Ctx.Formulas.orF(A, B)};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseAnd() {
+  ExprValue Left = parseUntil();
+  while (!Failed && peek().isPunct("&&")) {
+    take();
+    ExprValue Right = parseUntil();
+    const Formula *A = asFormula(Left);
+    const Formula *B = asFormula(Right);
+    if (!A || !B)
+      return {};
+    Left = {nullptr, Ctx.Formulas.andF(A, B)};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseUntil() {
+  ExprValue Left = parseComparison();
+  if (Failed)
+    return Left;
+  for (const char *Op : {"U", "W", "R"}) {
+    if (!peek().isIdent(Op))
+      continue;
+    take();
+    ExprValue Right = parseUntil(); // Right-associative.
+    const Formula *A = asFormula(Left);
+    const Formula *B = asFormula(Right);
+    if (!A || !B)
+      return {};
+    if (std::string(Op) == "U")
+      return {nullptr, Ctx.Formulas.until(A, B)};
+    if (std::string(Op) == "W")
+      return {nullptr, Ctx.Formulas.weakUntil(A, B)};
+    return {nullptr, Ctx.Formulas.release(A, B)};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseComparison() {
+  ExprValue Left = parseAdditive();
+  if (Failed)
+    return Left;
+  static const char *Ops[] = {"<=", ">=", "!=", "==", "<", ">", "="};
+  for (const char *Op : Ops) {
+    if (!peek().isPunct(Op))
+      continue;
+    take();
+    ExprValue Right = parseAdditive();
+    const Term *A = asTerm(Left);
+    const Term *B = asTerm(Right);
+    if (!A || !B)
+      return {};
+    std::string Canonical = Op;
+    if (Canonical == "==")
+      Canonical = "=";
+    const Term *T = applyFunction(Canonical, {A, B});
+    if (!T)
+      return {};
+    return {T, nullptr};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseAdditive() {
+  ExprValue Left = parseMultiplicative();
+  while (!Failed && (peek().isPunct("+") || peek().isPunct("-"))) {
+    std::string Op = take().Text;
+    ExprValue Right = parseMultiplicative();
+    const Term *A = asTerm(Left);
+    const Term *B = asTerm(Right);
+    if (!A || !B)
+      return {};
+    const Term *T = applyFunction(Op, {A, B});
+    if (!T)
+      return {};
+    Left = {T, nullptr};
+  }
+  return Left;
+}
+
+ExprValue Parser::parseMultiplicative() {
+  ExprValue Left = parsePrefix();
+  while (!Failed && peek().isPunct("*")) {
+    take();
+    ExprValue Right = parsePrefix();
+    const Term *A = asTerm(Left);
+    const Term *B = asTerm(Right);
+    if (!A || !B)
+      return {};
+    const Term *T = applyFunction("*", {A, B});
+    if (!T)
+      return {};
+    Left = {T, nullptr};
+  }
+  return Left;
+}
+
+ExprValue Parser::parsePrefix() {
+  if (peek().isPunct("!")) {
+    take();
+    ExprValue V = parsePrefix();
+    const Formula *F = asFormula(V);
+    if (!F)
+      return {};
+    return {nullptr, Ctx.Formulas.notF(F)};
+  }
+  if (peek().isPunct("-")) {
+    take();
+    ExprValue V = parsePrefix();
+    const Term *T = asTerm(V);
+    if (!T)
+      return {};
+    if (T->isNumeral())
+      return {Ctx.Terms.numeral(-T->value(), T->sort()), nullptr};
+    const Term *Zero = Ctx.Terms.numeral(Rational(0), T->sort());
+    const Term *Negated = applyFunction("-", {Zero, T});
+    if (!Negated)
+      return {};
+    return {Negated, nullptr};
+  }
+  for (const char *Op : {"X", "F", "G"}) {
+    if (!peek().isIdent(Op))
+      continue;
+    take();
+    ExprValue V = parsePrefix();
+    const Formula *F = asFormula(V);
+    if (!F)
+      return {};
+    if (std::string(Op) == "X")
+      return {nullptr, Ctx.Formulas.next(F)};
+    if (std::string(Op) == "F")
+      return {nullptr, Ctx.Formulas.finallyF(F)};
+    return {nullptr, Ctx.Formulas.globally(F)};
+  }
+  return parsePrimary();
+}
+
+const Term *Parser::parseArgumentTerm() {
+  const Token &T = peek();
+  if (T.is(TokenKind::Number)) {
+    take();
+    Rational Value;
+    if (!Rational::parse(T.Text, Value)) {
+      fail("malformed numeral '" + T.Text + "'");
+      return nullptr;
+    }
+    Sort S = Value.isInteger() ? numeralSort() : Sort::Real;
+    return Ctx.Terms.numeral(Value, S);
+  }
+  if (T.isPunct("(")) {
+    take();
+    ExprValue V = parseComparison();
+    if (Failed)
+      return nullptr;
+    if (!expectPunct(")"))
+      return nullptr;
+    return asTerm(V);
+  }
+  if (T.is(TokenKind::Ident)) {
+    Token Name = take();
+    // Nullary call "f()".
+    if (peek().isPunct("(") && peek(1).isPunct(")")) {
+      take();
+      take();
+      return applyFunction(Name.Text, {});
+    }
+    if (auto S = Spec.signalSort(Name.Text))
+      return Ctx.Terms.signal(Name.Text, *S);
+    fail("unknown signal '" + Name.Text + "'");
+    return nullptr;
+  }
+  fail("expected a term, found '" + T.Text + "'");
+  return nullptr;
+}
+
+ExprValue Parser::parsePrimary() {
+  const Token &T = peek();
+
+  // Boolean literals.
+  if (T.isIdent("true")) {
+    take();
+    return {nullptr, Ctx.Formulas.trueF()};
+  }
+  if (T.isIdent("false")) {
+    take();
+    return {nullptr, Ctx.Formulas.falseF()};
+  }
+
+  // Update term [cell <- term].
+  if (T.isPunct("[")) {
+    take();
+    Token Cell = take();
+    if (!Cell.is(TokenKind::Ident)) {
+      fail("expected cell name in update term");
+      return {};
+    }
+    if (!Spec.isUpdatable(Cell.Text)) {
+      fail("'" + Cell.Text + "' is not a cell or output; cannot be updated");
+      return {};
+    }
+    if (!expectPunct("<-"))
+      return {};
+    ExprValue V = parseComparison();
+    if (Failed)
+      return {};
+    const Term *Value = asTerm(V);
+    if (!Value)
+      return {};
+    if (!expectPunct("]"))
+      return {};
+    return {nullptr, Ctx.Formulas.update(Cell.Text, Value)};
+  }
+
+  // Parenthesized formula or term.
+  if (T.isPunct("(")) {
+    take();
+    ExprValue V = parseIff();
+    if (Failed)
+      return {};
+    if (!expectPunct(")"))
+      return {};
+    return V;
+  }
+
+  // Numerals.
+  if (T.is(TokenKind::Number)) {
+    const Term *Num = parseArgumentTerm();
+    if (!Num)
+      return {};
+    return {Num, nullptr};
+  }
+
+  // Identifier: signal, or prefix application f a1 a2 ...
+  if (T.is(TokenKind::Ident)) {
+    Token Name = take();
+    // Nullary call.
+    if (peek().isPunct("(") && peek(1).isPunct(")")) {
+      take();
+      take();
+      const Term *C = applyFunction(Name.Text, {});
+      if (!C)
+        return {};
+      return {C, nullptr};
+    }
+    // Declared signal: never takes juxtaposed arguments.
+    if (auto S = Spec.signalSort(Name.Text))
+      return {Ctx.Terms.signal(Name.Text, *S), nullptr};
+    // Function symbol: consume juxtaposed arguments greedily.
+    std::vector<const Term *> Args;
+    while (!Failed && (peek().is(TokenKind::Ident) ||
+                       peek().is(TokenKind::Number) || peek().isPunct("("))) {
+      // Stop at temporal operator keywords.
+      if (peek().is(TokenKind::Ident)) {
+        const std::string &Id = peek().Text;
+        if (Id == "U" || Id == "W" || Id == "R" || Id == "X" || Id == "F" ||
+            Id == "G" || Id == "true" || Id == "false")
+          break;
+      }
+      const Term *Arg = parseArgumentTerm();
+      if (!Arg)
+        return {};
+      Args.push_back(Arg);
+    }
+    if (Failed)
+      return {};
+    if (Args.empty()) {
+      // A bare unknown identifier is an undeclared signal, not a nullary
+      // constant: constants require the explicit "name()" call syntax.
+      fail("unknown signal '" + Name.Text + "'");
+      return {};
+    }
+    const Term *App = applyFunction(Name.Text, Args);
+    if (!App)
+      return {};
+    return {App, nullptr};
+  }
+
+  fail("expected a formula or term, found '" + T.Text + "'");
+  return {};
+}
+
+} // namespace
+
+std::optional<Specification>
+temos::parseSpecification(const std::string &Source, Context &Ctx,
+                          ParseError &Err) {
+  Parser P(Source, Ctx, Err);
+  return P.parseSpec();
+}
+
+const Formula *temos::parseFormula(const std::string &Source,
+                                   const Specification &Spec, Context &Ctx,
+                                   ParseError &Err) {
+  Parser P(Source, Ctx, Err);
+  return P.parseSingleFormula(Spec);
+}

@@ -1,0 +1,60 @@
+//===- logic/Parser.h - TSL-MT concrete syntax parser ----------*- C++ -*-===//
+///
+/// \file
+/// Parser for the TSL-MT benchmark format. The syntax mirrors the
+/// temos/tsltools specifications shown in the paper (Fig. 5), extended
+/// with explicit signal/function declarations:
+///
+/// \code
+///   #LIA#
+///   inputs  { int task1; bool enq1; }
+///   cells   { int vruntime1 = 0; }
+///   outputs { int next_task; }
+///   functions { opaque idle(); }
+///   always assume { ... ; }
+///   always guarantee {
+///     [next_task <- task1] || [next_task <- task2];
+///     G (vruntime1 < vruntime2 -> ! [next_task <- task2]);
+///     lte x c10() -> [lfo <- False()] U gt x c10();
+///   }
+/// \endcode
+///
+/// Terms support both prefix application (`add lfoFreq c1()`, `lt x y`)
+/// and infix sugar (`lfoFreq + 1`, `x < y`); both build the same AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_LOGIC_PARSER_H
+#define TEMOS_LOGIC_PARSER_H
+
+#include "logic/Specification.h"
+
+#include <optional>
+#include <string>
+
+namespace temos {
+
+/// A parse failure with 1-based source line information.
+struct ParseError {
+  size_t Line = 0;
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Parses a full specification. On failure returns std::nullopt and fills
+/// \p Err. All terms/formulas are allocated in \p Ctx.
+std::optional<Specification> parseSpecification(const std::string &Source,
+                                                Context &Ctx, ParseError &Err);
+
+/// Parses a single formula against the declarations of \p Spec (used by
+/// tests and by the assumption-injection plumbing).
+const Formula *parseFormula(const std::string &Source,
+                            const Specification &Spec, Context &Ctx,
+                            ParseError &Err);
+
+} // namespace temos
+
+#endif // TEMOS_LOGIC_PARSER_H

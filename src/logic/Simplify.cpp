@@ -1,0 +1,112 @@
+//===- logic/Simplify.cpp - Temporal formula simplification ----------------===//
+
+#include "logic/Simplify.h"
+
+using namespace temos;
+
+const Formula *temos::simplify(const Formula *F, FormulaFactory &FF) {
+  switch (F->kind()) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+  case Formula::Kind::Pred:
+  case Formula::Kind::Update:
+    return F;
+
+  case Formula::Kind::Not:
+    return FF.notF(simplify(F->child(0), FF));
+
+  case Formula::Kind::And: {
+    std::vector<const Formula *> Kids;
+    for (const Formula *Kid : F->children())
+      Kids.push_back(simplify(Kid, FF));
+    return FF.andF(std::move(Kids));
+  }
+  case Formula::Kind::Or: {
+    std::vector<const Formula *> Kids;
+    for (const Formula *Kid : F->children())
+      Kids.push_back(simplify(Kid, FF));
+    return FF.orF(std::move(Kids));
+  }
+  case Formula::Kind::Implies:
+    return FF.implies(simplify(F->lhs(), FF), simplify(F->rhs(), FF));
+  case Formula::Kind::Iff:
+    return FF.iff(simplify(F->lhs(), FF), simplify(F->rhs(), FF));
+
+  case Formula::Kind::Next: {
+    const Formula *Kid = simplify(F->child(0), FF);
+    // X distributes over both conjunction and disjunction.
+    if (Kid->is(Formula::Kind::And) || Kid->is(Formula::Kind::Or)) {
+      std::vector<const Formula *> Parts;
+      for (const Formula *Inner : Kid->children())
+        Parts.push_back(FF.next(Inner));
+      return Kid->is(Formula::Kind::And) ? FF.andF(std::move(Parts))
+                                         : FF.orF(std::move(Parts));
+    }
+    return FF.next(Kid);
+  }
+
+  case Formula::Kind::Globally: {
+    const Formula *Kid = simplify(F->child(0), FF);
+    // G G f = G f (factory handles); G (f && g) = G f && G g.
+    if (Kid->is(Formula::Kind::And)) {
+      std::vector<const Formula *> Parts;
+      for (const Formula *Inner : Kid->children())
+        Parts.push_back(FF.globally(Inner));
+      return FF.andF(std::move(Parts));
+    }
+    // G F G f = F G f? (true but rare) -- skipped.
+    return FF.globally(Kid);
+  }
+
+  case Formula::Kind::Finally: {
+    const Formula *Kid = simplify(F->child(0), FF);
+    // F (f || g) = F f || F g.
+    if (Kid->is(Formula::Kind::Or)) {
+      std::vector<const Formula *> Parts;
+      for (const Formula *Inner : Kid->children())
+        Parts.push_back(FF.finallyF(Inner));
+      return FF.orF(std::move(Parts));
+    }
+    return FF.finallyF(Kid);
+  }
+
+  case Formula::Kind::Until: {
+    const Formula *A = simplify(F->lhs(), FF);
+    const Formula *B = simplify(F->rhs(), FF);
+    // f U (f U g) = f U g.
+    if (B->is(Formula::Kind::Until) && B->lhs() == A)
+      return B;
+    // false U g = g is NOT an identity (it is g itself at step 0): it IS:
+    // false U g requires g now. The factory already folds true U g = F g.
+    if (A->is(Formula::Kind::False))
+      return B;
+    return FF.until(A, B);
+  }
+  case Formula::Kind::WeakUntil: {
+    const Formula *A = simplify(F->lhs(), FF);
+    const Formula *B = simplify(F->rhs(), FF);
+    // true W g = true; f W true = true.
+    if (A->is(Formula::Kind::True) || B->is(Formula::Kind::True))
+      return FF.trueF();
+    // false W g = g.
+    if (A->is(Formula::Kind::False))
+      return B;
+    // f W false = G f.
+    if (B->is(Formula::Kind::False))
+      return FF.globally(A);
+    return FF.weakUntil(A, B);
+  }
+  case Formula::Kind::Release: {
+    const Formula *A = simplify(F->lhs(), FF);
+    const Formula *B = simplify(F->rhs(), FF);
+    // true R g = g.
+    if (A->is(Formula::Kind::True))
+      return B;
+    // f R (f R g) = f R g.
+    if (B->is(Formula::Kind::Release) && B->lhs() == A)
+      return B;
+    return FF.release(A, B);
+  }
+  }
+  return F;
+}

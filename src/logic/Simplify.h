@@ -1,0 +1,32 @@
+//===- logic/Simplify.h - Temporal formula simplification ------*- C++ -*-===//
+///
+/// \file
+/// Equivalence-preserving rewrites on TSL/LTL formulas, applied to the
+/// final "TSL with assumptions" formula before automaton construction:
+///
+///   G G f = G f            F F f = F f
+///   G (f && g) = G f && G g        (helps tableau-state sharing)
+///   F (f || g) = F f || F g
+///   X (f && g) = X f && X g        X (f || g) = X f || X g
+///   G F (f || g) = G F f || ... is NOT valid -- not applied
+///   f U (f U g) = f U g
+///   idempotent/absorption cases handled by the factory's And/Or
+///
+/// The property tests check each rewrite against the tableau's
+/// satisfiability on sampled formulas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_LOGIC_SIMPLIFY_H
+#define TEMOS_LOGIC_SIMPLIFY_H
+
+#include "logic/Formula.h"
+
+namespace temos {
+
+/// Returns an equivalent, usually smaller formula.
+const Formula *simplify(const Formula *F, FormulaFactory &FF);
+
+} // namespace temos
+
+#endif // TEMOS_LOGIC_SIMPLIFY_H

@@ -1,0 +1,142 @@
+//===- logic/Term.h - TSL-MT function and predicate terms ------*- C++ -*-===//
+///
+/// \file
+/// Function terms tau_F and predicate terms tau_P of TSL-MT (Sec. 3.1 and
+/// 3.3 of the paper):
+///
+///   tau_F := s | f(tau_F, ..., tau_F)
+///   tau_P := p(tau_F, ..., tau_F)
+///
+/// A predicate term is simply a term of sort Bool. Terms are immutable and
+/// hash-consed by TermFactory, so pointer equality is structural equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_LOGIC_TERM_H
+#define TEMOS_LOGIC_TERM_H
+
+#include "logic/Sort.h"
+#include "support/Rational.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace temos {
+
+/// An immutable TSL-MT term. Create via TermFactory only.
+class Term {
+public:
+  enum class Kind {
+    /// A signal (input, cell or output), i.e. a first-order variable.
+    Signal,
+    /// A function application f(t1, ..., tn); n may be zero (a constant).
+    Apply,
+    /// A numeric literal.
+    Numeral,
+  };
+
+  Kind kind() const { return K; }
+  bool isSignal() const { return K == Kind::Signal; }
+  bool isApply() const { return K == Kind::Apply; }
+  bool isNumeral() const { return K == Kind::Numeral; }
+
+  /// Signal name or applied function symbol. Empty for numerals.
+  const std::string &name() const { return Name; }
+
+  /// The numeric value; only valid for numerals.
+  const Rational &value() const {
+    assert(isNumeral() && "value() on non-numeral");
+    return Value;
+  }
+
+  Sort sort() const { return S; }
+
+  const std::vector<const Term *> &args() const { return Args; }
+  size_t arity() const { return Args.size(); }
+
+  /// Number of AST nodes.
+  size_t size() const {
+    size_t Total = 1;
+    for (const Term *Arg : Args)
+      Total += Arg->size();
+    return Total;
+  }
+
+  /// Renders the term in the benchmark concrete syntax, e.g.
+  /// "add vruntime1 weight1" or "c10()" or "3".
+  std::string str() const;
+
+  /// Renders with infix sugar for arithmetic/comparisons where possible,
+  /// e.g. "vruntime1 + weight1"; used by the code emitters.
+  std::string strInfix() const;
+
+private:
+  friend class TermFactory;
+  Term(Kind K, std::string Name, Sort S, std::vector<const Term *> Args,
+       Rational Value)
+      : K(K), Name(std::move(Name)), S(S), Args(std::move(Args)),
+        Value(Value) {}
+
+  Kind K;
+  std::string Name;
+  Sort S;
+  std::vector<const Term *> Args;
+  Rational Value;
+};
+
+/// Hash-consing factory for terms. Terms returned by the factory live as
+/// long as the factory and are unique per structure, so `==` on pointers
+/// is structural equality.
+class TermFactory {
+public:
+  TermFactory() = default;
+  TermFactory(const TermFactory &) = delete;
+  TermFactory &operator=(const TermFactory &) = delete;
+
+  /// A signal (first-order variable) of the given sort.
+  const Term *signal(const std::string &Name, Sort S);
+
+  /// A function application. For zero-argument constants pass no args.
+  const Term *apply(const std::string &Function, Sort ResultSort,
+                    const std::vector<const Term *> &Args);
+
+  /// A numeric literal of sort Int (if integral) or the given sort.
+  const Term *numeral(const Rational &Value, Sort S);
+  const Term *numeral(int64_t Value) { return numeral(Rational(Value), Sort::Int); }
+
+  /// Replaces every occurrence of signal \p SignalName in \p T by \p
+  /// Replacement. Sorts must agree.
+  const Term *substitute(const Term *T, const std::string &SignalName,
+                         const Term *Replacement);
+
+  /// Simultaneous substitution: every signal with an entry in \p Map is
+  /// replaced by its image in one pass (needed for parallel updates such
+  /// as swaps, where sequential substitution would capture).
+  const Term *
+  substituteAll(const Term *T,
+                const std::unordered_map<std::string, const Term *> &Map);
+
+  /// Number of distinct terms created so far.
+  size_t size() const { return Terms.size(); }
+
+private:
+  const Term *intern(Term::Kind K, const std::string &Name, Sort S,
+                     const std::vector<const Term *> &Args,
+                     const Rational &Value);
+
+  std::unordered_map<std::string, std::unique_ptr<Term>> Terms;
+};
+
+/// Collects the names of all signals occurring in \p T into \p Out
+/// (deduplicated, in first-occurrence order).
+void collectSignals(const Term *T, std::vector<std::string> &Out);
+
+/// True if signal \p SignalName occurs in \p T.
+bool mentionsSignal(const Term *T, const std::string &SignalName);
+
+} // namespace temos
+
+#endif // TEMOS_LOGIC_TERM_H

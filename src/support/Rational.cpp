@@ -1,0 +1,169 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+
+#include "support/Rational.h"
+
+#include <cstdlib>
+#include <numeric>
+
+using namespace temos;
+
+namespace {
+
+/// Narrows a 128-bit intermediate back to int64, asserting on overflow.
+int64_t narrow(__int128 Value) {
+  assert(Value <= INT64_MAX && Value >= INT64_MIN &&
+         "rational arithmetic overflow");
+  return static_cast<int64_t>(Value);
+}
+
+/// gcd for 128-bit intermediates; std::gcd does not accept __int128.
+__int128 gcd128(__int128 A, __int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+} // namespace
+
+Rational::Rational(int64_t Numerator, int64_t Denominator) {
+  assert(Denominator != 0 && "rational with zero denominator");
+  if (Denominator < 0) {
+    Numerator = -Numerator;
+    Denominator = -Denominator;
+  }
+  int64_t G = std::gcd(Numerator < 0 ? -Numerator : Numerator, Denominator);
+  if (G == 0)
+    G = 1;
+  Num = Numerator / G;
+  Den = Denominator / G;
+}
+
+int64_t Rational::floor() const {
+  if (Num >= 0)
+    return Num / Den;
+  return -((-Num + Den - 1) / Den);
+}
+
+int64_t Rational::ceil() const { return -(-*this).floor(); }
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  __int128 N = static_cast<__int128>(Num) * RHS.Den +
+               static_cast<__int128>(RHS.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  __int128 G = gcd128(N, D);
+  if (G == 0)
+    G = 1;
+  return Rational(narrow(N / G), narrow(D / G));
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  __int128 N = static_cast<__int128>(Num) * RHS.Num;
+  __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  __int128 G = gcd128(N, D);
+  if (G == 0)
+    G = 1;
+  return Rational(narrow(N / G), narrow(D / G));
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "division by zero rational");
+  Rational Inverse;
+  if (RHS.Num < 0) {
+    Inverse.Num = -RHS.Den;
+    Inverse.Den = -RHS.Num;
+  } else {
+    Inverse.Num = RHS.Den;
+    Inverse.Den = RHS.Num;
+  }
+  return *this * Inverse;
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return static_cast<__int128>(Num) * RHS.Den <
+         static_cast<__int128>(RHS.Num) * Den;
+}
+
+bool Rational::operator<=(const Rational &RHS) const {
+  return static_cast<__int128>(Num) * RHS.Den <=
+         static_cast<__int128>(RHS.Num) * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+bool Rational::parse(const std::string &Text, Rational &Out) {
+  if (Text.empty())
+    return false;
+  // "n/d" form.
+  if (auto Slash = Text.find('/'); Slash != std::string::npos) {
+    errno = 0;
+    char *End = nullptr;
+    long long N = std::strtoll(Text.c_str(), &End, 10);
+    if (End != Text.c_str() + Slash || errno != 0)
+      return false;
+    long long D = std::strtoll(Text.c_str() + Slash + 1, &End, 10);
+    if (*End != '\0' || errno != 0 || D == 0)
+      return false;
+    Out = Rational(N, D);
+    return true;
+  }
+  // "x.y" decimal form.
+  if (auto Dot = Text.find('.'); Dot != std::string::npos) {
+    std::string Whole = Text.substr(0, Dot);
+    std::string Frac = Text.substr(Dot + 1);
+    if (Frac.empty() || Frac.size() > 15)
+      return false;
+    for (char C : Frac)
+      if (C < '0' || C > '9')
+        return false;
+    errno = 0;
+    char *End = nullptr;
+    long long W = std::strtoll(Whole.c_str(), &End, 10);
+    if (*End != '\0' || errno != 0)
+      return false;
+    int64_t Scale = 1;
+    for (size_t I = 0; I < Frac.size(); ++I)
+      Scale *= 10;
+    long long F = std::strtoll(Frac.c_str(), &End, 10);
+    if (*End != '\0' || errno != 0)
+      return false;
+    bool Negative = !Whole.empty() && Whole[0] == '-';
+    Out = Rational(W) + Rational(Negative ? -F : F, Scale);
+    return true;
+  }
+  // Plain integer.
+  errno = 0;
+  char *End = nullptr;
+  long long N = std::strtoll(Text.c_str(), &End, 10);
+  if (*End != '\0' || End == Text.c_str() || errno != 0)
+    return false;
+  Out = Rational(N);
+  return true;
+}
+
+std::string DeltaRational::str() const {
+  if (Delta.isZero())
+    return Real.str();
+  return Real.str() + (Delta.isNegative() ? "" : "+") + Delta.str() + "d";
+}

@@ -1,0 +1,64 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace temos;
+
+std::string temos::trim(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> temos::split(const std::string &Text,
+                                      char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Separator) {
+      Pieces.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+std::string temos::join(const std::vector<std::string> &Pieces,
+                        const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Pieces[I];
+  }
+  return Result;
+}
+
+bool temos::isIdentifier(const std::string &Text) {
+  if (Text.empty())
+    return false;
+  if (!std::isalpha(static_cast<unsigned char>(Text[0])) && Text[0] != '_')
+    return false;
+  for (char C : Text)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '\'')
+      return false;
+  return true;
+}
+
+std::string temos::replaceAll(std::string Text, const std::string &From,
+                              const std::string &To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}

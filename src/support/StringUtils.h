@@ -1,0 +1,36 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+///
+/// \file
+/// Minimal string helpers used across the project (trim/split/join and
+/// identifier checks for the TSL parser and code emitters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SUPPORT_STRINGUTILS_H
+#define TEMOS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace temos {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// Splits \p Text on \p Separator; empty pieces are kept.
+std::vector<std::string> split(const std::string &Text, char Separator);
+
+/// Joins \p Pieces with \p Separator between elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 const std::string &Separator);
+
+/// True if \p Text is a valid identifier: [A-Za-z_][A-Za-z0-9_']*.
+bool isIdentifier(const std::string &Text);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, const std::string &From,
+                       const std::string &To);
+
+} // namespace temos
+
+#endif // TEMOS_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,36 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+///
+/// \file
+/// A tiny wall-clock stopwatch used by the synthesis pipeline to report
+/// the per-phase timings that Table 1 and Figure 4 of the paper record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SUPPORT_TIMER_H
+#define TEMOS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace temos {
+
+/// Wall-clock stopwatch. Construction starts the clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Resets the stopwatch to zero.
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace temos
+
+#endif // TEMOS_SUPPORT_TIMER_H

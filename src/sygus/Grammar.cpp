@@ -1,0 +1,130 @@
+//===- sygus/Grammar.cpp - Context-free term grammars ----------------------===//
+
+#include "sygus/Grammar.h"
+
+#include "theory/Evaluator.h"
+
+#include <map>
+#include <set>
+
+using namespace temos;
+
+namespace {
+
+/// Replaces placeholder signals in \p Template with derived terms.
+const Term *instantiate(TermFactory &TF, const Term *Template,
+                        const std::vector<const Term *> &NonTerminalTerms) {
+  std::unordered_map<std::string, const Term *> Map;
+  for (size_t I = 0; I < NonTerminalTerms.size(); ++I)
+    if (NonTerminalTerms[I])
+      Map[Grammar::placeholder(I)] = NonTerminalTerms[I];
+  return TF.substituteAll(Template, Map);
+}
+
+/// Which nonterminals a template references.
+void placeholdersUsed(const Term *Template, size_t Count,
+                      std::vector<bool> &Used) {
+  if (Template->isSignal()) {
+    for (size_t I = 0; I < Count; ++I)
+      if (Template->name() == Grammar::placeholder(I))
+        Used[I] = true;
+    return;
+  }
+  for (const Term *Arg : Template->args())
+    placeholdersUsed(Arg, Count, Used);
+}
+
+/// Observational signature of a candidate on the example set.
+std::string signature(const Term *T, const std::vector<Assignment> &Examples) {
+  Evaluator E;
+  std::string Sig;
+  for (const Assignment &Env : Examples) {
+    auto V = E.evaluate(T, Env);
+    Sig += V ? V->str() : "?";
+    Sig += '|';
+  }
+  return Sig;
+}
+
+} // namespace
+
+const Term *
+temos::enumerateGrammar(TermFactory &TF, const Grammar &G,
+                        const EnumerationOptions &Options,
+                        const std::function<bool(const Term *)> &Yield,
+                        EnumerationStats *Stats) {
+  const size_t N = G.NonTerminals.size();
+  assert(N > 0 && "grammar without nonterminals");
+
+  // ByHeight[h][nt] = terms of exactly height h derivable from nt. Height
+  // here counts production applications.
+  std::vector<std::vector<std::vector<const Term *>>> ByHeight;
+  // Observational-equivalence signatures for the start nonterminal.
+  std::set<std::string> SeenSignatures;
+  size_t Produced = 0;
+
+  for (unsigned Height = 1; Height <= Options.MaxHeight; ++Height) {
+    ByHeight.push_back(std::vector<std::vector<const Term *>>(N));
+    auto &Current = ByHeight.back();
+
+    for (size_t NT = 0; NT < N; ++NT) {
+      for (const Production &P : G.NonTerminals[NT].Productions) {
+        std::vector<bool> Used(N, false);
+        placeholdersUsed(P.Template, N, Used);
+
+        bool AnyPlaceholder = false;
+        for (bool U : Used)
+          AnyPlaceholder |= U;
+
+        if (!AnyPlaceholder) {
+          // Terminal production: height 1 only.
+          if (Height == 1)
+            Current[NT].push_back(P.Template);
+          continue;
+        }
+        if (Height == 1)
+          continue;
+
+        // For exact height H, at least one child must have height H-1
+        // and the rest may have any height < H. We only support
+        // templates using a single distinct nonterminal occurrence here
+        // (the shapes the pipeline emits: chains); general multi-child
+        // products would need a height-combination sweep.
+        size_t Child = 0;
+        size_t UsedCount = 0;
+        for (size_t I = 0; I < N; ++I)
+          if (Used[I]) {
+            Child = I;
+            ++UsedCount;
+          }
+        assert(UsedCount == 1 && "multi-nonterminal templates unsupported");
+
+        for (const Term *Sub : ByHeight[Height - 2][Child]) {
+          std::vector<const Term *> Children(N, nullptr);
+          Children[Child] = Sub;
+          Current[NT].push_back(instantiate(TF, P.Template, Children));
+        }
+      }
+    }
+
+    // Yield candidates of this height from the start nonterminal.
+    for (const Term *Candidate : Current[0]) {
+      if (!Options.Examples.empty()) {
+        std::string Sig = signature(Candidate, Options.Examples);
+        if (!SeenSignatures.insert(Sig).second) {
+          if (Stats)
+            ++Stats->Pruned;
+          continue;
+        }
+      }
+      if (Stats)
+        ++Stats->Generated;
+      ++Produced;
+      if (Yield(Candidate))
+        return Candidate;
+      if (Options.CandidateLimit && Produced >= Options.CandidateLimit)
+        return nullptr;
+    }
+  }
+  return nullptr;
+}

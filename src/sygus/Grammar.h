@@ -1,0 +1,83 @@
+//===- sygus/Grammar.h - Context-free term grammars ------------*- C++ -*-===//
+///
+/// \file
+/// Context-free grammars over terms and a bottom-up enumerator, the
+/// syntactic half of a SyGuS problem (Sec. 3.4). The paper's sequential
+/// grammar for a signal s_i (Sec. 4.3.1)
+///
+///   S ::= F S | s_i
+///
+/// is expressed with productions whose templates mention nonterminal
+/// placeholder signals (reserved names "$0", "$1", ...).
+///
+/// The enumerator generates all derivable terms by height, optionally
+/// pruning observationally equivalent candidates over a set of example
+/// assignments (the classic enumerative-SyGuS optimization; the
+/// ablation bench measures its effect).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SYGUS_GRAMMAR_H
+#define TEMOS_SYGUS_GRAMMAR_H
+
+#include "logic/Term.h"
+#include "theory/Value.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace temos {
+
+/// One production: a term template in which placeholder signals "$<k>"
+/// stand for nonterminal k.
+struct Production {
+  const Term *Template = nullptr;
+};
+
+/// A nonterminal with its candidate productions.
+struct NonTerminal {
+  std::string Name;
+  Sort S = Sort::Int;
+  std::vector<Production> Productions;
+};
+
+/// A context-free grammar over terms. Nonterminal 0 is the start symbol.
+struct Grammar {
+  std::vector<NonTerminal> NonTerminals;
+
+  /// The reserved placeholder signal name for nonterminal \p Index.
+  static std::string placeholder(size_t Index) {
+    return "$" + std::to_string(Index);
+  }
+};
+
+/// Configuration for enumeration.
+struct EnumerationOptions {
+  /// Maximum derivation height to explore.
+  unsigned MaxHeight = 6;
+  /// If non-empty, candidates that agree with an already-enumerated
+  /// candidate on every example are pruned (observational equivalence).
+  std::vector<Assignment> Examples;
+  /// Stop after this many candidates have been produced (0 = unlimited).
+  size_t CandidateLimit = 0;
+};
+
+/// Statistics from one enumeration run.
+struct EnumerationStats {
+  size_t Generated = 0;
+  size_t Pruned = 0;
+};
+
+/// Enumerates terms derivable from the start nonterminal, shortest
+/// (lowest height) first. Calls \p Yield for each candidate; enumeration
+/// stops when \p Yield returns true ("accepted") or limits are hit.
+/// Returns the accepted term, or nullptr.
+const Term *enumerateGrammar(TermFactory &TF, const Grammar &G,
+                             const EnumerationOptions &Options,
+                             const std::function<bool(const Term *)> &Yield,
+                             EnumerationStats *Stats = nullptr);
+
+} // namespace temos
+
+#endif // TEMOS_SYGUS_GRAMMAR_H

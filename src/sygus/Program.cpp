@@ -1,0 +1,86 @@
+//===- sygus/Program.cpp - Data transformation programs --------------------===//
+
+#include "sygus/Program.h"
+
+#include <unordered_map>
+
+using namespace temos;
+
+namespace {
+
+std::string stepStr(const StepChoice &Step) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Cell, Rhs] : Step) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "[" + Cell + " <- " + Rhs->str() + "]";
+  }
+  return Out + "}";
+}
+
+} // namespace
+
+std::string SequentialProgram::str() const {
+  std::string Out;
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    if (I != 0)
+      Out += "; ";
+    Out += stepStr(Steps[I]);
+  }
+  return Out;
+}
+
+std::string LoopProgram::str() const {
+  std::string Out = "while (!post) ";
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (I != 0)
+      Out += "; ";
+    Out += stepStr(Body[I]);
+  }
+  return Out;
+}
+
+std::map<std::string, const Term *>
+temos::applyStepSymbolic(TermFactory &TF,
+                         const std::map<std::string, const Term *> &State,
+                         const StepChoice &Step) {
+  // Substitution maps every cell name to its *current* symbolic value,
+  // applied simultaneously so parallel updates see the pre-step state.
+  std::unordered_map<std::string, const Term *> Subst(State.begin(),
+                                                      State.end());
+  std::map<std::string, const Term *> Next = State;
+  for (const auto &[Cell, Rhs] : Step) {
+    assert(State.count(Cell) && "update of unknown cell");
+    Next[Cell] = TF.substituteAll(Rhs, Subst);
+  }
+  return Next;
+}
+
+std::map<std::string, const Term *>
+temos::composeSymbolic(TermFactory &TF,
+                       const std::vector<std::string> &CellNames,
+                       const std::vector<Sort> &CellSorts,
+                       const std::vector<StepChoice> &Steps) {
+  assert(CellNames.size() == CellSorts.size() && "cell name/sort mismatch");
+  std::map<std::string, const Term *> State;
+  for (size_t I = 0; I < CellNames.size(); ++I)
+    State[CellNames[I]] = TF.signal(CellNames[I], CellSorts[I]);
+  for (const StepChoice &Step : Steps)
+    State = applyStepSymbolic(TF, State, Step);
+  return State;
+}
+
+bool temos::applyStepConcrete(const Evaluator &E, Assignment &State,
+                              const StepChoice &Step) {
+  Assignment Next = State;
+  for (const auto &[Cell, Rhs] : Step) {
+    auto V = E.evaluate(Rhs, State);
+    if (!V)
+      return false;
+    Next[Cell] = *V;
+  }
+  State = std::move(Next);
+  return true;
+}

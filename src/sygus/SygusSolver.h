@@ -1,0 +1,144 @@
+//===- sygus/SygusSolver.h - Enumerative SyGuS engine ----------*- C++ -*-===//
+///
+/// \file
+/// The SyGuS half of the temos pipeline (Sec. 4.3). Given a data
+/// transformation obligation -- pre-condition literals, post-condition
+/// literals, and the update terms available per cell -- the solver
+/// searches for:
+///
+///  * a SequentialProgram of an exact number of steps whose final state
+///    provably satisfies the post-condition whenever the initial state
+///    satisfies the pre-condition (Sec. 4.3.1) -- candidates are
+///    enumerated by the paper's chain grammar and verified with the SMT
+///    layer (validity of pre -> post[final]), or
+///  * a LoopProgram (Sec. 4.3.2) via the paper's recursion wrapper
+///    (Sec. 5.1): instantiate models of the pre-condition, synthesize
+///    straight-line witnesses per model, and extract the repeated
+///    fragment as the loop body, validated by bounded iteration on every
+///    sample.
+///
+/// The refinement loop (Sec. 4.4 / Alg. 4) re-invokes the solver with an
+/// exclusion list to obtain a *different* program for the same
+/// obligation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SYGUS_SYGUSSOLVER_H
+#define TEMOS_SYGUS_SYGUSSOLVER_H
+
+#include "logic/Specification.h"
+#include "sygus/Program.h"
+#include "theory/SmtSolver.h"
+
+#include <optional>
+
+namespace temos {
+
+/// A cell that data transformation programs may write, with the update
+/// right-hand sides the specification makes available for it.
+struct CellSpec {
+  std::string Name;
+  Sort S = Sort::Int;
+  std::vector<const Term *> Updates;
+};
+
+/// A SyGuS query extracted from a data transformation obligation.
+struct SygusQuery {
+  std::vector<TheoryLiteral> Pre;
+  std::vector<TheoryLiteral> Post;
+  /// Ambient facts that hold at EVERY time step (non-temporal literals
+  /// from the spec's 'always assume' block, e.g. weight > 0 or input
+  /// bounds). Unlike Pre, these are re-instantiated for the fresh input
+  /// copies of later steps during verification.
+  std::vector<TheoryLiteral> Ambient;
+  std::vector<CellSpec> Cells;
+};
+
+/// Statistics of one synthesis call.
+struct SygusStats {
+  size_t CandidatesTried = 0;
+  size_t VerifierCalls = 0;
+};
+
+/// Enumerative SyGuS solver with SMT-backed verification.
+class SygusSolver {
+public:
+  SygusSolver(Context &Ctx, Theory Th) : Ctx(Ctx), Th(Th), Solver(Th) {}
+
+  /// Tunables.
+  struct Options {
+    /// Maximum sequential chain length when the obligation does not fix
+    /// one.
+    unsigned MaxSteps = 4;
+    /// Samples of the pre-condition used for screening and the loop
+    /// wrapper.
+    unsigned SampleCount = 4;
+    /// Iteration budget when validating loop bodies on samples.
+    unsigned MaxLoopIterations = 64;
+    /// Maximum loop body length (in steps).
+    unsigned MaxBodySteps = 2;
+  };
+  Options Opts;
+
+  /// Synthesizes a sequential program of exactly \p Steps steps (the
+  /// temporal constraint of Sec. 4.3.1). Programs in \p Excluded are
+  /// skipped (refinement). Returns nullopt if no candidate verifies.
+  std::optional<SequentialProgram>
+  synthesizeSequential(const SygusQuery &Query, unsigned Steps,
+                       const std::vector<SequentialProgram> &Excluded = {},
+                       SygusStats *Stats = nullptr);
+
+  /// Synthesizes a sequential program of any length 1..MaxSteps
+  /// (shortest first), for F-obligations solvable without loops.
+  std::optional<SequentialProgram>
+  synthesizeSequentialUpTo(const SygusQuery &Query,
+                           const std::vector<SequentialProgram> &Excluded = {},
+                           SygusStats *Stats = nullptr);
+
+  /// Synthesizes a loop program for a reachability (F) obligation via
+  /// the recursion wrapper.
+  std::optional<LoopProgram>
+  synthesizeLoop(const SygusQuery &Query,
+                 const std::vector<LoopProgram> &Excluded = {},
+                 SygusStats *Stats = nullptr);
+
+  /// Verifies a sequential candidate: validity of pre -> post[final].
+  /// Environment inputs (signals that are not cells) are havocked per
+  /// step: step j reads fresh input copies, so the program must work for
+  /// every input evolution, not just a rigid one. Exposed for tests and
+  /// the assumption generator.
+  bool verifySequential(const SygusQuery &Query,
+                        const SequentialProgram &Program);
+
+  /// Soundness check for loop bodies (makes Theorem 4.4's premise
+  /// real): accepts the body only if a linear ranking argument proves
+  /// that iterating it reaches the post-condition from every
+  /// pre-condition state, for every input evolution. Two tiers:
+  /// (1) global progress -- from any !post state the post-gap shrinks
+  /// by >= 1; (2) pre-invariant progress -- pre is inductive (modulo
+  /// reaching post) and the gap shrinks under it. Exposed for tests.
+  bool verifyLoopRanking(const SygusQuery &Query,
+                         const std::vector<StepChoice> &Body);
+
+  /// Sample assignments satisfying the pre-condition (SMT model plus
+  /// perturbations). Exposed for the loop wrapper and tests.
+  std::vector<Assignment> samplePreModels(const SygusQuery &Query);
+
+private:
+  /// All per-step choices: the cartesian product of cell update options.
+  std::vector<StepChoice> stepChoices(const SygusQuery &Query) const;
+  /// Three-valued concrete post-condition check: nullopt when some
+  /// literal cannot be evaluated concretely (e.g. uninterpreted
+  /// predicates) -- such samples neither screen nor accept.
+  std::optional<bool> postHoldsConcrete(const SygusQuery &Query,
+                                        const Assignment &State) const;
+
+  Context &Ctx;
+  Theory Th;
+  SmtSolver Solver;
+  Evaluator Eval;
+};
+
+} // namespace temos
+
+#endif // TEMOS_SYGUS_SYGUSSOLVER_H

@@ -1,0 +1,99 @@
+//===- theory/CongruenceClosure.cpp - EUF congruence closure ---------------===//
+
+#include "theory/CongruenceClosure.h"
+
+using namespace temos;
+
+void CongruenceClosure::add(const Term *T) {
+  if (Parent.count(T))
+    return;
+  Parent[T] = T;
+  Terms.push_back(T);
+  for (const Term *Arg : T->args())
+    add(Arg);
+}
+
+const Term *CongruenceClosure::find(const Term *T) {
+  add(T);
+  const Term *Root = T;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[T] != Root) {
+    const Term *Next = Parent[T];
+    Parent[T] = Root;
+    T = Next;
+  }
+  return Root;
+}
+
+bool CongruenceClosure::areEqual(const Term *T1, const Term *T2) {
+  return find(T1) == find(T2);
+}
+
+bool CongruenceClosure::merge(const Term *T1, const Term *T2) {
+  add(T1);
+  add(T2);
+  const Term *R1 = find(T1);
+  const Term *R2 = find(T2);
+  if (R1 != R2)
+    Parent[R1] = R2;
+  if (!propagate())
+    return false;
+  // Check disequalities after propagation.
+  for (const auto &[A, B] : Disequalities)
+    if (find(A) == find(B))
+      return false;
+  return true;
+}
+
+bool CongruenceClosure::propagate() {
+  // Naive fixpoint: merge any two applications with the same function
+  // symbol and pairwise-equal argument classes. Quadratic, which is fine
+  // for the small term sets the pipeline produces.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Terms.size(); ++I) {
+      const Term *A = Terms[I];
+      if (!A->isApply() || A->arity() == 0)
+        continue;
+      for (size_t J = I + 1; J < Terms.size(); ++J) {
+        const Term *B = Terms[J];
+        if (!B->isApply() || B->name() != A->name() ||
+            B->arity() != A->arity())
+          continue;
+        if (find(A) == find(B))
+          continue;
+        bool ArgsEqual = true;
+        for (size_t K = 0; K < A->arity(); ++K)
+          if (find(A->args()[K]) != find(B->args()[K])) {
+            ArgsEqual = false;
+            break;
+          }
+        if (ArgsEqual) {
+          Parent[find(A)] = find(B);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool CongruenceClosure::addDisequality(const Term *T1, const Term *T2) {
+  add(T1);
+  add(T2);
+  Disequalities.emplace_back(T1, T2);
+  return find(T1) != find(T2);
+}
+
+std::vector<std::pair<const Term *, const Term *>>
+CongruenceClosure::equalPairs() {
+  std::vector<std::pair<const Term *, const Term *>> Result;
+  for (size_t I = 0; I < Terms.size(); ++I)
+    for (size_t J = I + 1; J < Terms.size(); ++J)
+      if (Terms[I] != Terms[J] && find(Terms[I]) == find(Terms[J]))
+        Result.emplace_back(Terms[I], Terms[J]);
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- theory/CongruenceClosure.h - EUF congruence closure -----*- C++ -*-===//
+///
+/// \file
+/// Congruence closure over ground terms for the theory of equality with
+/// uninterpreted functions (EUF). Drives the UF part of consistency
+/// checking (Sec. 4.2) and plain-TSL reasoning (TSL = TSL-MT over UF,
+/// Sec. 3.3). Terms are hash-consed, so the structure works directly on
+/// Term pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_THEORY_CONGRUENCECLOSURE_H
+#define TEMOS_THEORY_CONGRUENCECLOSURE_H
+
+#include "logic/Term.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace temos {
+
+/// Union-find based congruence closure.
+class CongruenceClosure {
+public:
+  /// Registers \p T and all its subterms.
+  void add(const Term *T);
+
+  /// Asserts T1 = T2 and propagates congruences. Returns false if this
+  /// contradicts a previously asserted disequality.
+  bool merge(const Term *T1, const Term *T2);
+
+  /// Asserts T1 != T2. Returns false if T1 and T2 are already equal.
+  bool addDisequality(const Term *T1, const Term *T2);
+
+  /// True if the two terms are in the same class.
+  bool areEqual(const Term *T1, const Term *T2);
+
+  /// Representative of \p T's class.
+  const Term *find(const Term *T);
+
+  /// All registered terms (insertion order).
+  const std::vector<const Term *> &terms() const { return Terms; }
+
+  /// Pairs (T1, T2) of registered terms that are congruent-equal; used
+  /// to propagate equalities into the arithmetic solver.
+  std::vector<std::pair<const Term *, const Term *>> equalPairs();
+
+private:
+  bool propagate();
+
+  std::unordered_map<const Term *, const Term *> Parent;
+  std::vector<const Term *> Terms;
+  std::vector<std::pair<const Term *, const Term *>> Disequalities;
+};
+
+} // namespace temos
+
+#endif // TEMOS_THEORY_CONGRUENCECLOSURE_H

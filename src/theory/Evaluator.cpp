@@ -1,0 +1,96 @@
+//===- theory/Evaluator.cpp - Ground term evaluation -----------------------===//
+
+#include "theory/Evaluator.h"
+
+using namespace temos;
+
+std::optional<Value> Evaluator::evaluate(const Term *T,
+                                         const Assignment &Env) const {
+  switch (T->kind()) {
+  case Term::Kind::Numeral:
+    return Value::number(T->value());
+  case Term::Kind::Signal: {
+    auto It = Env.find(T->name());
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case Term::Kind::Apply:
+    break;
+  }
+
+  const std::string &F = T->name();
+
+  // Nullary builtins and constants.
+  if (T->arity() == 0) {
+    if (F == "True")
+      return Value::boolean(true);
+    if (F == "False")
+      return Value::boolean(false);
+    // Opaque constants evaluate to themselves as symbols.
+    return Value::symbol(F + "()");
+  }
+
+  // Evaluate arguments first.
+  std::vector<Value> Args;
+  Args.reserve(T->arity());
+  for (const Term *Arg : T->args()) {
+    auto V = evaluate(Arg, Env);
+    if (!V)
+      return std::nullopt;
+    Args.push_back(*V);
+  }
+
+  auto BothNumbers = [&]() {
+    return Args.size() == 2 && Args[0].isNumber() && Args[1].isNumber();
+  };
+
+  if (F == "+" && BothNumbers())
+    return Value::number(Args[0].getNumber() + Args[1].getNumber());
+  if (F == "-" && BothNumbers())
+    return Value::number(Args[0].getNumber() - Args[1].getNumber());
+  if (F == "*" && BothNumbers())
+    return Value::number(Args[0].getNumber() * Args[1].getNumber());
+  if (F == "<" && BothNumbers())
+    return Value::boolean(Args[0].getNumber() < Args[1].getNumber());
+  if (F == "<=" && BothNumbers())
+    return Value::boolean(Args[0].getNumber() <= Args[1].getNumber());
+  if (F == ">" && BothNumbers())
+    return Value::boolean(Args[0].getNumber() > Args[1].getNumber());
+  if (F == ">=" && BothNumbers())
+    return Value::boolean(Args[0].getNumber() >= Args[1].getNumber());
+  if (F == "=" && Args.size() == 2)
+    return Value::boolean(Args[0] == Args[1]);
+  if (F == "!=" && Args.size() == 2)
+    return Value::boolean(Args[0] != Args[1]);
+
+  // Sort mismatch on a builtin (e.g. "<" on symbols) is an evaluation
+  // failure, not a symbolic application.
+  static const char *Builtins[] = {"+", "-", "*", "<", "<=", ">", ">="};
+  for (const char *B : Builtins)
+    if (F == B)
+      return std::nullopt;
+
+  // Uninterpreted function: canonical symbolic value over evaluated
+  // arguments (term-model semantics -> congruence holds by construction).
+  std::string Canonical = "(" + F;
+  for (const Value &Arg : Args)
+    Canonical += " " + Arg.str();
+  Canonical += ")";
+  if (T->sort() == Sort::Bool) {
+    // Boolean UF applications have no truth value under the term model;
+    // the caller decides (the SMT layer treats them as atoms). For
+    // evaluation purposes we expose them as symbols via evaluate() and
+    // fail in evaluateBool().
+    return Value::symbol(Canonical);
+  }
+  return Value::symbol(Canonical);
+}
+
+std::optional<bool> Evaluator::evaluateBool(const Term *T,
+                                            const Assignment &Env) const {
+  auto V = evaluate(T, Env);
+  if (!V || !V->isBool())
+    return std::nullopt;
+  return V->getBool();
+}

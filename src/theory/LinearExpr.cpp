@@ -1,0 +1,168 @@
+//===- theory/LinearExpr.cpp - Linear arithmetic expressions ---------------===//
+
+#include "theory/LinearExpr.h"
+
+using namespace temos;
+
+LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  Result.Constant += RHS.Constant;
+  for (const auto &[Name, Coeff] : RHS.Coefficients) {
+    Rational &Slot = Result.Coefficients[Name];
+    Slot += Coeff;
+    if (Slot.isZero())
+      Result.Coefficients.erase(Name);
+  }
+  return Result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &RHS) const {
+  return *this + RHS.scaled(Rational(-1));
+}
+
+LinearExpr LinearExpr::scaled(const Rational &Factor) const {
+  LinearExpr Result;
+  if (Factor.isZero())
+    return Result;
+  Result.Constant = Constant * Factor;
+  for (const auto &[Name, Coeff] : Coefficients)
+    Result.Coefficients[Name] = Coeff * Factor;
+  return Result;
+}
+
+std::string LinearExpr::str() const {
+  std::string Out;
+  for (const auto &[Name, Coeff] : Coefficients) {
+    if (!Out.empty())
+      Out += " + ";
+    if (Coeff == Rational(1))
+      Out += Name;
+    else
+      Out += Coeff.str() + "*" + Name;
+  }
+  if (Out.empty() || !Constant.isZero()) {
+    if (!Out.empty())
+      Out += " + ";
+    Out += Constant.str();
+  }
+  return Out;
+}
+
+std::optional<LinearExpr> LinearExpr::fromTerm(const Term *T) {
+  switch (T->kind()) {
+  case Term::Kind::Numeral:
+    return LinearExpr(T->value());
+  case Term::Kind::Signal:
+    if (T->sort() != Sort::Int && T->sort() != Sort::Real)
+      return std::nullopt;
+    return LinearExpr::variable(T->name());
+  case Term::Kind::Apply:
+    break;
+  }
+
+  const std::string &F = T->name();
+  if ((F == "+" || F == "-") && T->arity() == 2) {
+    auto A = fromTerm(T->args()[0]);
+    auto B = fromTerm(T->args()[1]);
+    if (!A || !B)
+      return std::nullopt;
+    return F == "+" ? *A + *B : *A - *B;
+  }
+  if (F == "*" && T->arity() == 2) {
+    auto A = fromTerm(T->args()[0]);
+    auto B = fromTerm(T->args()[1]);
+    if (!A || !B)
+      return std::nullopt;
+    if (A->isConstant())
+      return B->scaled(A->constant());
+    if (B->isConstant())
+      return A->scaled(B->constant());
+    return std::nullopt; // Nonlinear.
+  }
+
+  // Purification: a numeric-sorted UF application is an atomic variable
+  // keyed by its canonical string.
+  if (T->sort() == Sort::Int || T->sort() == Sort::Real)
+    return LinearExpr::variable(T->str());
+  return std::nullopt;
+}
+
+LinearRel temos::negateRel(LinearRel Rel) {
+  switch (Rel) {
+  case LinearRel::LE:
+    return LinearRel::GT;
+  case LinearRel::LT:
+    return LinearRel::GE;
+  case LinearRel::GE:
+    return LinearRel::LT;
+  case LinearRel::GT:
+    return LinearRel::LE;
+  case LinearRel::EQ:
+    // Negated equality is a disequality and needs a case split; callers
+    // handle EQ specially before calling negateRel.
+    assert(false && "cannot negate EQ into a single linear relation");
+    return LinearRel::EQ;
+  }
+  return LinearRel::LE;
+}
+
+std::string LinearAtom::str() const {
+  const char *RelName = "?";
+  switch (Rel) {
+  case LinearRel::LE:
+    RelName = "<=";
+    break;
+  case LinearRel::LT:
+    RelName = "<";
+    break;
+  case LinearRel::GE:
+    RelName = ">=";
+    break;
+  case LinearRel::GT:
+    RelName = ">";
+    break;
+  case LinearRel::EQ:
+    RelName = "=";
+    break;
+  }
+  return Expr.str() + " " + RelName + " 0";
+}
+
+std::optional<LinearAtom> LinearAtom::fromComparison(const Term *T,
+                                                     bool Negated) {
+  if (!T->isApply() || T->arity() != 2)
+    return std::nullopt;
+  const std::string &F = T->name();
+  LinearRel Rel;
+  if (F == "<")
+    Rel = LinearRel::LT;
+  else if (F == "<=")
+    Rel = LinearRel::LE;
+  else if (F == ">")
+    Rel = LinearRel::GT;
+  else if (F == ">=")
+    Rel = LinearRel::GE;
+  else if (F == "=")
+    Rel = LinearRel::EQ;
+  else
+    return std::nullopt;
+
+  Sort L = T->args()[0]->sort();
+  Sort R = T->args()[1]->sort();
+  bool Numeric = (L == Sort::Int || L == Sort::Real) &&
+                 (R == Sort::Int || R == Sort::Real);
+  if (!Numeric)
+    return std::nullopt;
+
+  auto A = LinearExpr::fromTerm(T->args()[0]);
+  auto B = LinearExpr::fromTerm(T->args()[1]);
+  if (!A || !B)
+    return std::nullopt;
+
+  if (Negated) {
+    if (Rel == LinearRel::EQ)
+      return std::nullopt; // Disequalities need a case split upstream.
+    Rel = negateRel(Rel);
+  }
+  return LinearAtom{*A - *B, Rel};
+}

@@ -1,0 +1,84 @@
+//===- theory/LinearExpr.h - Linear arithmetic expressions -----*- C++ -*-===//
+///
+/// \file
+/// Linear polynomials over named variables with exact rational
+/// coefficients, and extraction of linear form from TSL-MT terms.
+///
+/// Numeric-sorted applications of *uninterpreted* functions are
+/// abstracted as atomic variables named by their canonical term string
+/// (e.g. "(f x)"), which is the purification step of a Nelson-Oppen-style
+/// combination: the congruence-closure layer later links such variables
+/// with equality constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_THEORY_LINEAREXPR_H
+#define TEMOS_THEORY_LINEAREXPR_H
+
+#include "logic/Term.h"
+#include "support/Rational.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace temos {
+
+/// A linear polynomial: sum of coefficient * variable plus a constant.
+class LinearExpr {
+public:
+  LinearExpr() = default;
+  explicit LinearExpr(const Rational &Constant) : Constant(Constant) {}
+
+  static LinearExpr variable(const std::string &Name) {
+    LinearExpr E;
+    E.Coefficients[Name] = Rational(1);
+    return E;
+  }
+
+  const std::map<std::string, Rational> &coefficients() const {
+    return Coefficients;
+  }
+  const Rational &constant() const { return Constant; }
+
+  bool isConstant() const { return Coefficients.empty(); }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr scaled(const Rational &Factor) const;
+
+  std::string str() const;
+
+  /// Extracts the linear form of \p T. Numeric UF applications become
+  /// atomic variables (purification). Returns nullopt for genuinely
+  /// nonlinear terms (variable * variable).
+  static std::optional<LinearExpr> fromTerm(const Term *T);
+
+private:
+  std::map<std::string, Rational> Coefficients;
+  Rational Constant;
+};
+
+/// Relations of linear atoms.
+enum class LinearRel { LE, LT, GE, GT, EQ };
+
+/// Negation of a relation: !(a <= b) is a > b, etc.
+LinearRel negateRel(LinearRel Rel);
+
+/// A linear atom: Expr Rel 0 (normalized, constant folded into Expr).
+struct LinearAtom {
+  LinearExpr Expr;
+  LinearRel Rel = LinearRel::LE;
+
+  std::string str() const;
+
+  /// Builds the atom for a comparison term (<, <=, >, >=, = over numeric
+  /// operands). Returns nullopt when \p T is not such a comparison or the
+  /// operands are not linear.
+  static std::optional<LinearAtom> fromComparison(const Term *T,
+                                                  bool Negated);
+};
+
+} // namespace temos
+
+#endif // TEMOS_THEORY_LINEAREXPR_H

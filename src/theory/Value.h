@@ -1,0 +1,75 @@
+//===- theory/Value.h - Runtime values for TSL-MT signals ------*- C++ -*-===//
+///
+/// \file
+/// Concrete values carried by signals at run time and inside the SMT
+/// layer: booleans, exact rationals (Int/Real sorts) and symbols (values
+/// of uninterpreted/opaque sorts, identified by name).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_THEORY_VALUE_H
+#define TEMOS_THEORY_VALUE_H
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace temos {
+
+/// A concrete runtime value.
+class Value {
+public:
+  Value() : Data(false) {}
+  static Value boolean(bool B) { return Value(B); }
+  static Value number(const Rational &R) { return Value(R); }
+  static Value integer(int64_t I) { return Value(Rational(I)); }
+  /// A value of an uninterpreted sort, identified by name.
+  static Value symbol(const std::string &Name) { return Value(Name); }
+
+  bool isBool() const { return std::holds_alternative<bool>(Data); }
+  bool isNumber() const { return std::holds_alternative<Rational>(Data); }
+  bool isSymbol() const { return std::holds_alternative<std::string>(Data); }
+
+  bool getBool() const {
+    assert(isBool() && "getBool() on non-boolean value");
+    return std::get<bool>(Data);
+  }
+  const Rational &getNumber() const {
+    assert(isNumber() && "getNumber() on non-numeric value");
+    return std::get<Rational>(Data);
+  }
+  const std::string &getSymbol() const {
+    assert(isSymbol() && "getSymbol() on non-symbol value");
+    return std::get<std::string>(Data);
+  }
+
+  bool operator==(const Value &RHS) const { return Data == RHS.Data; }
+  bool operator!=(const Value &RHS) const { return !(*this == RHS); }
+  /// Arbitrary total order (used for container keys).
+  bool operator<(const Value &RHS) const { return Data < RHS.Data; }
+
+  std::string str() const {
+    if (isBool())
+      return getBool() ? "true" : "false";
+    if (isNumber())
+      return getNumber().str();
+    return getSymbol();
+  }
+
+private:
+  explicit Value(bool B) : Data(B) {}
+  explicit Value(const Rational &R) : Data(R) {}
+  explicit Value(const std::string &S) : Data(S) {}
+
+  std::variant<bool, Rational, std::string> Data;
+};
+
+/// A (partial) assignment of values to signal names.
+using Assignment = std::map<std::string, Value>;
+
+} // namespace temos
+
+#endif // TEMOS_THEORY_VALUE_H

@@ -1,0 +1,177 @@
+//===- tools/temos.cpp - The temos command-line driver --------------------===//
+///
+/// \file
+/// Command-line front end mirroring the paper's tool: reads a TSL-MT
+/// specification, runs the full pipeline, and emits executable code.
+///
+///   temos spec.tslmt                 synthesize, print a summary
+///   temos --js spec.tslmt            print the JavaScript controller
+///   temos --cpp spec.tslmt           print the C++ controller
+///   temos --assumptions spec.tslmt   print the generated assumptions
+///   temos --simulate N spec.tslmt    run the controller N steps (inputs
+///                                    default to zero/false) and print
+///                                    the cell trace
+///   temos --lazy spec.tslmt          use the lazy assumption strategy
+///   temos --benchmark NAME           run a bundled Table-1 benchmark
+///   temos --list                     list the bundled benchmarks
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "codegen/CodeEmitter.h"
+#include "codegen/Interpreter.h"
+#include "core/Synthesizer.h"
+#include "logic/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace temos;
+
+namespace {
+
+int usage(const char *Program) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--js|--cpp|--assumptions|--simulate N|--lazy] "
+      "(spec.tslmt | --benchmark NAME | --list)\n",
+      Program);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool EmitJs = false, EmitCppCode = false, PrintAssumptions = false;
+  bool Lazy = false;
+  long SimulateSteps = -1;
+  const char *Path = nullptr;
+  const char *BenchmarkName = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--list") == 0) {
+      for (const BenchmarkSpec &B : allBenchmarks())
+        std::printf("%-18s (%s)\n", B.Name, B.Family);
+      return 0;
+    } else if (std::strcmp(argv[I], "--benchmark") == 0 && I + 1 < argc) {
+      BenchmarkName = argv[++I];
+    } else if (std::strcmp(argv[I], "--js") == 0) {
+      EmitJs = true;
+    } else if (std::strcmp(argv[I], "--cpp") == 0) {
+      EmitCppCode = true;
+    } else if (std::strcmp(argv[I], "--assumptions") == 0) {
+      PrintAssumptions = true;
+    } else if (std::strcmp(argv[I], "--lazy") == 0) {
+      Lazy = true;
+    } else if (std::strcmp(argv[I], "--simulate") == 0 && I + 1 < argc) {
+      SimulateSteps = std::strtol(argv[++I], nullptr, 10);
+    } else if (argv[I][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Path = argv[I];
+    }
+  }
+  std::string Source;
+  if (BenchmarkName) {
+    const BenchmarkSpec *B = findBenchmark(BenchmarkName);
+    if (!B) {
+      std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
+                   BenchmarkName);
+      return 1;
+    }
+    Source = B->Source;
+    Path = BenchmarkName;
+  } else {
+    if (!Path)
+      return usage(argv[0]);
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  Context Ctx;
+  ParseError Err;
+  auto Spec = parseSpecification(Source, Ctx, Err);
+  if (!Spec) {
+    std::fprintf(stderr, "%s:%s\n", Path, Err.str().c_str());
+    return 1;
+  }
+
+  Synthesizer Synth(Ctx);
+  PipelineOptions Options;
+  Options.Eager = !Lazy;
+  PipelineResult R = Synth.run(*Spec, Options);
+
+  if (R.Status != Realizability::Realizable) {
+    std::fprintf(stderr, "%s: %s\n", Spec->Name.c_str(),
+                 R.Status == Realizability::Unrealizable
+                     ? "unrealizable (within the bounded-synthesis budget)"
+                     : "unknown (resource budget exceeded)");
+    return 1;
+  }
+
+  if (PrintAssumptions) {
+    for (const Formula *A : R.Assumptions)
+      std::printf("%s\n", A->str().c_str());
+    return 0;
+  }
+  if (EmitJs) {
+    std::printf("%s", emitJavaScript(*R.Machine, R.AB, *Spec).c_str());
+    return 0;
+  }
+  if (EmitCppCode) {
+    std::printf("%s", emitCpp(*R.Machine, R.AB, *Spec).c_str());
+    return 0;
+  }
+  if (SimulateSteps >= 0) {
+    Controller C(*R.Machine, R.AB, *Spec);
+    Assignment Inputs;
+    for (const SignalDecl &D : Spec->Inputs) {
+      switch (D.S) {
+      case Sort::Bool:
+        Inputs[D.Name] = Value::boolean(false);
+        break;
+      case Sort::Int:
+      case Sort::Real:
+        Inputs[D.Name] = Value::integer(0);
+        break;
+      case Sort::Opaque:
+        Inputs[D.Name] = Value::symbol("@" + D.Name);
+        break;
+      }
+    }
+    for (long Step = 0; Step < SimulateSteps; ++Step) {
+      auto Outcome = C.step(Inputs);
+      if (!Outcome) {
+        std::fprintf(stderr, "step %ld: evaluation failed\n", Step);
+        return 1;
+      }
+      std::printf("step %ld:", Step);
+      for (const auto &[Name, V] : C.cells())
+        std::printf(" %s=%s", Name.c_str(), V.str().c_str());
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::printf("%s: realizable\n", Spec->Name.c_str());
+  std::printf("  theory:           %s\n", theoryName(Spec->Th));
+  std::printf("  |phi|=%zu |P|=%zu |F|=%zu |psi|=%zu\n", R.Stats.SpecSize,
+              R.Stats.PredicateCount, R.Stats.UpdateTermCount,
+              R.Stats.AssumptionCount);
+  std::printf("  psi generation:   %.3fs\n", R.Stats.PsiGenSeconds);
+  std::printf("  TSL synthesis:    %.3fs (%u refinement rounds)\n",
+              R.Stats.SynthesisSeconds, R.Stats.Refinements);
+  std::printf("  machine states:   %zu\n", R.Machine->stateCount());
+  std::printf("  JavaScript LoC:   %zu\n",
+              countLines(emitJavaScript(*R.Machine, R.AB, *Spec)));
+  return 0;
+}

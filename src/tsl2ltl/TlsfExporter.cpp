@@ -1,0 +1,162 @@
+//===- tsl2ltl/TlsfExporter.cpp - TLSF export -------------------------------===//
+
+#include "tsl2ltl/TlsfExporter.h"
+
+#include <cctype>
+
+using namespace temos;
+
+namespace {
+
+/// Mangles an arbitrary term string into a TLSF-safe identifier.
+std::string mangle(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Out += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    else if (C == '<')
+      Out += "lt";
+    else if (C == '>')
+      Out += "gt";
+    else if (C == '=')
+      Out += "eq";
+    else if (C == '+')
+      Out += "add";
+    else if (C == '-')
+      Out += "sub";
+    else if (!Out.empty() && Out.back() != '_')
+      Out += '_';
+  }
+  while (!Out.empty() && Out.back() == '_')
+    Out.pop_back();
+  return Out.empty() ? "p" : Out;
+}
+
+/// Renders a formula in TLSF's LTL syntax, mapping atoms to the boolean
+/// propositions of the encoding.
+std::string render(const Formula *F, const Alphabet &AB) {
+  switch (F->kind()) {
+  case Formula::Kind::True:
+    return "true";
+  case Formula::Kind::False:
+    return "false";
+  case Formula::Kind::Pred: {
+    int I = AB.predicateIndex(F->pred());
+    assert(I >= 0 && "predicate not in alphabet");
+    return tlsfInputName(AB, static_cast<size_t>(I));
+  }
+  case Formula::Kind::Update: {
+    auto [Cell, Option] = AB.updateIndex(F);
+    assert(Cell >= 0 && Option >= 0 && "update not in alphabet");
+    return tlsfOutputName(AB, static_cast<size_t>(Cell),
+                          static_cast<size_t>(Option));
+  }
+  case Formula::Kind::Not:
+    return "!" + render(F->child(0), AB);
+  case Formula::Kind::And: {
+    std::string Out = "(";
+    for (size_t I = 0; I < F->children().size(); ++I) {
+      if (I)
+        Out += " && ";
+      Out += render(F->child(I), AB);
+    }
+    return Out + ")";
+  }
+  case Formula::Kind::Or: {
+    std::string Out = "(";
+    for (size_t I = 0; I < F->children().size(); ++I) {
+      if (I)
+        Out += " || ";
+      Out += render(F->child(I), AB);
+    }
+    return Out + ")";
+  }
+  case Formula::Kind::Implies:
+    return "(" + render(F->lhs(), AB) + " -> " + render(F->rhs(), AB) + ")";
+  case Formula::Kind::Iff:
+    return "(" + render(F->lhs(), AB) + " <-> " + render(F->rhs(), AB) + ")";
+  case Formula::Kind::Next:
+    return "(X " + render(F->child(0), AB) + ")";
+  case Formula::Kind::Globally:
+    return "(G " + render(F->child(0), AB) + ")";
+  case Formula::Kind::Finally:
+    return "(F " + render(F->child(0), AB) + ")";
+  case Formula::Kind::Until:
+    return "(" + render(F->lhs(), AB) + " U " + render(F->rhs(), AB) + ")";
+  case Formula::Kind::WeakUntil:
+    return "(" + render(F->lhs(), AB) + " W " + render(F->rhs(), AB) + ")";
+  case Formula::Kind::Release:
+    return "(" + render(F->lhs(), AB) + " R " + render(F->rhs(), AB) + ")";
+  }
+  return "true";
+}
+
+} // namespace
+
+std::string temos::tlsfInputName(const Alphabet &AB, size_t Index) {
+  return "p_" + mangle(AB.predicates()[Index]->str()) + "_" +
+         std::to_string(Index);
+}
+
+std::string temos::tlsfOutputName(const Alphabet &AB, size_t Cell,
+                                  size_t Option) {
+  return "u_" + mangle(AB.cells()[Cell].Cell) + "_" + std::to_string(Option);
+}
+
+std::string temos::exportTlsf(const Specification &Spec, const Alphabet &AB,
+                              Context &Ctx,
+                              const std::vector<const Formula *> &Assumptions) {
+  std::string Out;
+  Out += "INFO {\n";
+  Out += "  TITLE:       \"" + Spec.Name + "\"\n";
+  Out += "  DESCRIPTION: \"TSL modulo " + std::string(theoryName(Spec.Th)) +
+         " underapproximation (temoscpp)\"\n";
+  Out += "  SEMANTICS:   Mealy\n";
+  Out += "  TARGET:      Mealy\n";
+  Out += "}\n\n";
+
+  Out += "MAIN {\n";
+  Out += "  INPUTS {\n";
+  for (size_t I = 0; I < AB.predicates().size(); ++I)
+    Out += "    " + tlsfInputName(AB, I) + ";\n";
+  Out += "  }\n";
+  Out += "  OUTPUTS {\n";
+  for (size_t C = 0; C < AB.cells().size(); ++C)
+    for (size_t O = 0; O < AB.cells()[C].Options.size(); ++O)
+      Out += "    " + tlsfOutputName(AB, C, O) + ";\n";
+  Out += "  }\n";
+
+  Out += "  ASSUMPTIONS {\n";
+  for (const Formula *A : Spec.Assumptions)
+    Out += "    G " + render(A, AB) + ";\n";
+  for (const Formula *A : Assumptions)
+    Out += "    " + render(A, AB) + ";\n";
+  Out += "  }\n";
+
+  Out += "  GUARANTEES {\n";
+  // The exactly-one-update-per-cell side constraints our factored
+  // alphabet keeps structural (tsltools emits the same shape).
+  for (size_t C = 0; C < AB.cells().size(); ++C) {
+    const auto &Options = AB.cells()[C].Options;
+    std::string AtLeastOne = "(";
+    for (size_t O = 0; O < Options.size(); ++O) {
+      if (O)
+        AtLeastOne += " || ";
+      AtLeastOne += tlsfOutputName(AB, C, O);
+    }
+    AtLeastOne += ")";
+    Out += "    G " + AtLeastOne + ";\n";
+    for (size_t O1 = 0; O1 < Options.size(); ++O1)
+      for (size_t O2 = O1 + 1; O2 < Options.size(); ++O2)
+        Out += "    G !(" + tlsfOutputName(AB, C, O1) + " && " +
+               tlsfOutputName(AB, C, O2) + ");\n";
+  }
+  for (const Formula *G : Spec.AlwaysGuarantees)
+    Out += "    G " + render(G, AB) + ";\n";
+  for (const Formula *G : Spec.Guarantees)
+    Out += "    " + render(G, AB) + ";\n";
+  Out += "  }\n";
+  Out += "}\n";
+  (void)Ctx;
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- tsl2ltl/TlsfExporter.h - TLSF export ---------------------*- C++ -*-===//
+///
+/// \file
+/// Exports the underapproximated LTL problem in the TLSF format
+/// (Jacobs/Klein/Schirmer, "A high-level LTL synthesis format: TLSF
+/// v1.1"), the interface the paper's toolchain uses between tsltools and
+/// Strix (Sec. 5.1). Predicate terms become boolean inputs, update atoms
+/// become boolean outputs, and the per-cell exactly-one constraints that
+/// our factored alphabet keeps structural are spelled out as explicit
+/// GUARANTEES, exactly as the tsltools encoding does.
+///
+/// This makes the repository interoperable with external LTL synthesis
+/// tools: feed the exported TLSF to Strix/ltlsynt and compare against
+/// the built-in bounded-synthesis engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_TSL2LTL_TLSFEXPORTER_H
+#define TEMOS_TSL2LTL_TLSFEXPORTER_H
+
+#include "logic/Specification.h"
+#include "tsl2ltl/Alphabet.h"
+
+#include <string>
+
+namespace temos {
+
+/// Exports spec + assumptions as a TLSF problem over \p AB.
+/// \p Assumptions are the generated psi formulas (already G-wrapped).
+std::string exportTlsf(const Specification &Spec, const Alphabet &AB,
+                       Context &Ctx,
+                       const std::vector<const Formula *> &Assumptions = {});
+
+/// The boolean proposition name used for predicate term \p Index.
+std::string tlsfInputName(const Alphabet &AB, size_t Index);
+
+/// The boolean proposition name used for update option \p Option of cell
+/// \p Cell (e.g. "u_x_0" for the first update of cell x).
+std::string tlsfOutputName(const Alphabet &AB, size_t Cell, size_t Option);
+
+} // namespace temos
+
+#endif // TEMOS_TSL2LTL_TLSFEXPORTER_H

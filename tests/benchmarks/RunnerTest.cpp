@@ -1,0 +1,82 @@
+//===- tests/benchmarks/RunnerTest.cpp - Harness formatting tests ---------===//
+
+#include "benchmarks/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+TEST(Runner, FormatTableLaysOutFamilies) {
+  std::vector<BenchmarkRow> Rows;
+  BenchmarkRow A;
+  A.Family = "Music Synthesizer";
+  A.Name = "Vibrato";
+  A.Parsed = true;
+  A.Status = Realizability::Realizable;
+  A.SpecSize = 22;
+  A.PredicateCount = 2;
+  A.UpdateTermCount = 4;
+  A.AssumptionCount = 3;
+  A.PsiGenSeconds = 0.1;
+  A.SynthesisSeconds = 0.9;
+  A.SumSeconds = 1.0;
+  A.SynthesizedLoc = 206;
+  Rows.push_back(A);
+  BenchmarkRow B = A;
+  B.Name = "Modulation";
+  Rows.push_back(B);
+  BenchmarkRow C = A;
+  C.Family = "Pong";
+  C.Name = "Bouncing";
+  C.Status = Realizability::Unrealizable;
+  Rows.push_back(C);
+
+  std::string Table = formatTable(Rows);
+  // Family headers appear once each.
+  EXPECT_NE(Table.find("Music Synthesizer"), std::string::npos);
+  EXPECT_NE(Table.find("Pong"), std::string::npos);
+  EXPECT_EQ(Table.find("Music Synthesizer"),
+            Table.rfind("Music Synthesizer"));
+  // Rows and statuses.
+  EXPECT_NE(Table.find("Vibrato"), std::string::npos);
+  EXPECT_NE(Table.find("UNREALIZABLE"), std::string::npos);
+  EXPECT_NE(Table.find("ok"), std::string::npos);
+}
+
+TEST(Runner, FormatTableMarksParseErrors) {
+  BenchmarkRow Bad;
+  Bad.Family = "X";
+  Bad.Name = "Broken";
+  Bad.Parsed = false;
+  std::string Table = formatTable({Bad});
+  EXPECT_NE(Table.find("PARSE-ERROR"), std::string::npos);
+}
+
+TEST(Runner, RunBenchmarkFillsRow) {
+  const BenchmarkSpec *B = findBenchmark("Simple");
+  ASSERT_NE(B, nullptr);
+  BenchmarkRun Run = runBenchmark(*B);
+  EXPECT_TRUE(Run.Row.Parsed);
+  EXPECT_EQ(Run.Row.Status, Realizability::Realizable);
+  EXPECT_GT(Run.Row.SpecSize, 0u);
+  EXPECT_GT(Run.Row.SynthesizedLoc, 0u);
+  EXPECT_EQ(Run.Row.Family, std::string("Escalator"));
+  ASSERT_TRUE(Run.Result.Machine.has_value());
+  EXPECT_GE(Run.Result.Machine->stateCount(), 1u);
+}
+
+TEST(Runner, RunBenchmarkHonorsOptions) {
+  const BenchmarkSpec *B = findBenchmark("Simple");
+  ASSERT_NE(B, nullptr);
+  PipelineOptions NoObligations;
+  NoObligations.Decomp.MaxObligations = 0;
+  NoObligations.Consistency.MaxSubsetSize = 0;
+  BenchmarkRun Run = runBenchmark(*B, NoObligations);
+  EXPECT_EQ(Run.Row.AssumptionCount, 0u);
+  // "Simple" needs no assumptions, so it still synthesizes.
+  EXPECT_EQ(Run.Row.Status, Realizability::Realizable);
+}
+
+} // namespace

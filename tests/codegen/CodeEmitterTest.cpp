@@ -1,0 +1,150 @@
+//===- tests/codegen/CodeEmitterTest.cpp - Emitter tests ------------------===//
+
+#include "codegen/CodeEmitter.h"
+
+#include "core/Synthesizer.h"
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class CodeEmitterTest : public ::testing::Test {
+protected:
+  PipelineResult synthesize(const std::string &Source) {
+    ParseError Err;
+    auto Parsed = parseSpecification(Source, Ctx, Err);
+    EXPECT_TRUE(Parsed.has_value()) << Err.str();
+    Spec = *Parsed;
+    Synthesizer Synth(Ctx);
+    PipelineResult R = Synth.run(Spec);
+    EXPECT_EQ(R.Status, Realizability::Realizable);
+    return R;
+  }
+
+  Context Ctx;
+  Specification Spec;
+};
+
+TEST_F(CodeEmitterTest, JavaScriptShape) {
+  PipelineResult R = synthesize(R"(
+    #LIA#
+    spec Counter
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  std::string Js = emitJavaScript(*R.Machine, R.AB, Spec);
+  EXPECT_NE(Js.find("function createController"), std::string::npos);
+  EXPECT_NE(Js.find("x: 0"), std::string::npos);
+  EXPECT_NE(Js.find("switch (state)"), std::string::npos);
+  EXPECT_NE(Js.find("next.x = (cells.x + 1);"), std::string::npos);
+  EXPECT_NE(Js.find("'Counter'"), std::string::npos);
+  // Every machine state appears as a case.
+  for (uint32_t S = 0; S < R.Machine->stateCount(); ++S)
+    EXPECT_NE(Js.find("case " + std::to_string(S) + ":"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, JavaScriptInputsAndPredicates) {
+  PipelineResult R = synthesize(R"(
+    #LIA#
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee {
+      G (x < y -> [m <- x]);
+      G (y < x -> [m <- y]);
+    }
+  )");
+  std::string Js = emitJavaScript(*R.Machine, R.AB, Spec);
+  EXPECT_NE(Js.find("const p0 = (inputs.x < inputs.y);"), std::string::npos);
+  EXPECT_NE(Js.find("const p1 = (inputs.y < inputs.x);"), std::string::npos);
+  EXPECT_NE(Js.find("next.m = inputs.x;"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, CppCompilesStandalone) {
+  // The strongest emitter test: generated C++ must actually compile and
+  // behave like the interpreter. We compile it in-process by embedding
+  // it into a TU via a golden string comparison proxy: here we at least
+  // check structure; the integration test compiles it for real.
+  PipelineResult R = synthesize(R"(
+    #LIA#
+    spec Mutex
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee {
+      G (x < y -> [m <- x]);
+      G (y < x -> [m <- y]);
+    }
+  )");
+  std::string Cpp = emitCpp(*R.Machine, R.AB, Spec);
+  EXPECT_NE(Cpp.find("struct MutexController"), std::string::npos);
+  EXPECT_NE(Cpp.find("struct Inputs"), std::string::npos);
+  EXPECT_NE(Cpp.find("long long m = 0;"), std::string::npos);
+  EXPECT_NE(Cpp.find("const Cells &step(const Inputs &inputs)"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("next.m = inputs.x;"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, LineCountMatchesNewlines) {
+  EXPECT_EQ(countLines(""), 0u);
+  EXPECT_EQ(countLines("a\nb\n"), 2u);
+  EXPECT_EQ(countLines("a"), 0u);
+}
+
+TEST_F(CodeEmitterTest, LocGrowsWithMachineSize) {
+  PipelineResult Small = synthesize(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee { [x <- x + 1]; }
+  )");
+  std::string SmallJs = emitJavaScript(*Small.Machine, Small.AB, Spec);
+
+  Context Ctx2;
+  ParseError Err;
+  auto BigSpec = parseSpecification(R"(
+    #LIA#
+    inputs { int a, b; }
+    cells { int x = 0; int y = 0; }
+    always guarantee {
+      G (a < x -> [x <- x + 1]);
+      G (b < y -> [y <- y + 1]);
+      G (x < a -> [x <- x]);
+    }
+  )", Ctx2, Err);
+  ASSERT_TRUE(BigSpec.has_value()) << Err.str();
+  Synthesizer Synth2(Ctx2);
+  PipelineResult Big = Synth2.run(*BigSpec);
+  ASSERT_EQ(Big.Status, Realizability::Realizable);
+  std::string BigJs = emitJavaScript(*Big.Machine, Big.AB, *BigSpec);
+
+  EXPECT_GT(countLines(BigJs), countLines(SmallJs));
+}
+
+TEST_F(CodeEmitterTest, RealConstantsEmitted) {
+  PipelineResult R = synthesize(R"(
+    #RA#
+    cells { real f = 0; }
+    always guarantee {
+      [f <- f + 1] || [f <- f];
+      f <= c10() -> F (f > c10());
+    }
+  )");
+  std::string Js = emitJavaScript(*R.Machine, R.AB, Spec);
+  EXPECT_NE(Js.find("cells.f <= 10"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, SelfUpdatesAreElided) {
+  PipelineResult R = synthesize(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee { [x <- x]; }
+  )");
+  std::string Js = emitJavaScript(*R.Machine, R.AB, Spec);
+  EXPECT_EQ(Js.find("next.x = cells.x;"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/codegen/TraceCheckerTest.cpp - Trace monitoring tests --------===//
+
+#include "codegen/TraceChecker.h"
+
+#include "core/Synthesizer.h"
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class TraceCheckerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    P = TF.signal("p", Sort::Bool);
+    Q = TF.signal("q", Sort::Bool);
+    AtomP = FF.pred(P);
+    AtomQ = FF.pred(Q);
+  }
+
+  /// Builds a trace from a string over {'p','q','b','n'}: p only, q
+  /// only, both, none.
+  Trace trace(const std::string &Pattern) {
+    Trace T;
+    for (char C : Pattern) {
+      TraceStep Step;
+      if (C == 'p' || C == 'b')
+        Step.TruePredicates.push_back(P);
+      if (C == 'q' || C == 'b')
+        Step.TruePredicates.push_back(Q);
+      T.append(Step);
+    }
+    return T;
+  }
+
+  TermFactory TF;
+  FormulaFactory FF;
+  const Term *P = nullptr;
+  const Term *Q = nullptr;
+  const Formula *AtomP = nullptr;
+  const Formula *AtomQ = nullptr;
+};
+
+TEST_F(TraceCheckerTest, Atoms) {
+  Trace T = trace("pn");
+  EXPECT_EQ(T.check(AtomP, 0), TraceVerdict::Holds);
+  EXPECT_EQ(T.check(AtomP, 1), TraceVerdict::Violated);
+  EXPECT_EQ(T.check(AtomP, 2), TraceVerdict::Undecided); // Past the end.
+}
+
+TEST_F(TraceCheckerTest, BooleanConnectives) {
+  Trace T = trace("b");
+  EXPECT_EQ(T.check(FF.andF(AtomP, AtomQ)), TraceVerdict::Holds);
+  EXPECT_EQ(T.check(FF.notF(AtomP)), TraceVerdict::Violated);
+  EXPECT_EQ(T.check(FF.orF(FF.notF(AtomP), AtomQ)), TraceVerdict::Holds);
+  EXPECT_EQ(T.check(FF.implies(AtomP, AtomQ)), TraceVerdict::Holds);
+  EXPECT_EQ(T.check(FF.iff(AtomP, FF.notF(AtomQ))), TraceVerdict::Violated);
+}
+
+TEST_F(TraceCheckerTest, NextShiftsPosition) {
+  Trace T = trace("np");
+  EXPECT_EQ(T.check(FF.next(AtomP)), TraceVerdict::Holds);
+  EXPECT_EQ(T.check(FF.next(FF.next(AtomP))), TraceVerdict::Undecided);
+}
+
+TEST_F(TraceCheckerTest, GloballyNeverHoldsOnFiniteTraces) {
+  Trace T = trace("ppp");
+  // G p is not Violated but cannot be confirmed either.
+  EXPECT_EQ(T.check(FF.globally(AtomP)), TraceVerdict::Undecided);
+  EXPECT_TRUE(T.noViolation(FF.globally(AtomP)));
+  Trace T2 = trace("ppn");
+  EXPECT_EQ(T2.check(FF.globally(AtomP)), TraceVerdict::Violated);
+  EXPECT_FALSE(T2.noViolation(FF.globally(AtomP)));
+}
+
+TEST_F(TraceCheckerTest, FinallyFulfillment) {
+  EXPECT_EQ(trace("nnp").check(FF.finallyF(AtomP)), TraceVerdict::Holds);
+  EXPECT_EQ(trace("nnn").check(FF.finallyF(AtomP)),
+            TraceVerdict::Undecided);
+}
+
+TEST_F(TraceCheckerTest, UntilSemantics) {
+  const Formula *PUQ = FF.until(AtomP, AtomQ);
+  EXPECT_EQ(trace("ppq").check(PUQ), TraceVerdict::Holds);
+  EXPECT_EQ(trace("q").check(PUQ), TraceVerdict::Holds);
+  EXPECT_EQ(trace("pn").check(PUQ), TraceVerdict::Violated);
+  EXPECT_EQ(trace("ppp").check(PUQ), TraceVerdict::Undecided);
+}
+
+TEST_F(TraceCheckerTest, WeakUntilAllowsForever) {
+  const Formula *PWQ = FF.weakUntil(AtomP, AtomQ);
+  EXPECT_EQ(trace("ppp").check(PWQ), TraceVerdict::Undecided); // G p open.
+  EXPECT_EQ(trace("pn").check(PWQ), TraceVerdict::Violated);
+  EXPECT_EQ(trace("pq").check(PWQ), TraceVerdict::Holds);
+}
+
+TEST_F(TraceCheckerTest, ReleaseSemantics) {
+  const Formula *PRQ = FF.release(AtomP, AtomQ);
+  // q holds until p releases (inclusive).
+  EXPECT_EQ(trace("qqb").check(PRQ), TraceVerdict::Holds);
+  EXPECT_EQ(trace("qn").check(PRQ), TraceVerdict::Violated);
+  EXPECT_EQ(trace("qqq").check(PRQ), TraceVerdict::Undecided);
+}
+
+TEST_F(TraceCheckerTest, ResponsePattern) {
+  const Formula *Response = FF.globally(FF.implies(AtomP, FF.finallyF(AtomQ)));
+  EXPECT_TRUE(trace("pnq").noViolation(Response));
+  EXPECT_TRUE(trace("pnn").noViolation(Response)); // Pending, not violated.
+  EXPECT_TRUE(trace("nnn").noViolation(Response));
+}
+
+TEST_F(TraceCheckerTest, MonitorsSynthesizedController) {
+  // End-to-end: synthesize the mutex spec, run it, and monitor the
+  // guarantees on the recorded trace.
+  Context Ctx;
+  ParseError Err;
+  auto Spec = parseSpecification(R"(
+    #LIA#
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee {
+      G (x < y -> [m <- x]);
+      G (y < x -> [m <- y]);
+    }
+  )", Ctx, Err);
+  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(*Spec);
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+
+  Controller C(*R.Machine, R.AB, *Spec);
+  Trace T;
+  int64_t Xs[] = {3, 9, 5, 0, 7};
+  int64_t Ys[] = {7, 4, 5, 2, 1};
+  for (int I = 0; I < 5; ++I) {
+    auto Outcome = C.step({{"x", Value::integer(Xs[I])},
+                           {"y", Value::integer(Ys[I])}});
+    ASSERT_TRUE(Outcome.has_value());
+    T.append(R.AB, *Outcome);
+  }
+  for (const Formula *G : Spec->AlwaysGuarantees)
+    EXPECT_TRUE(T.noViolation(Ctx.Formulas.globally(G))) << G->str();
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/core/AssumptionGeneratorTest.cpp - Alg. 2/3 tests ------------===//
+
+#include "core/AssumptionGenerator.h"
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class AssumptionGeneratorTest : public ::testing::Test {
+protected:
+  Specification parse(const std::string &Source) {
+    ParseError Err;
+    auto Spec = parseSpecification(Source, Ctx, Err);
+    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    return *Spec;
+  }
+
+  Obligation obligation(const Specification &Spec, const std::string &Pre,
+                        const std::string &Post, Obligation::Kind K,
+                        unsigned Steps = 1) {
+    ParseError Err;
+    const Formula *PreF = parseFormula(Pre, Spec, Ctx, Err);
+    const Formula *PostF = parseFormula(Post, Spec, Ctx, Err);
+    EXPECT_TRUE(PreF && PostF) << Err.str();
+    Obligation Ob;
+    Ob.Pre = {{PreF->pred(), true}};
+    Ob.Post = {{PostF->pred(), true}};
+    Ob.K = K;
+    Ob.Steps = Steps;
+    return Ob;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(AssumptionGeneratorTest, IntroExampleAssumption) {
+  // The introduction: from x = 0, two increments reach x = 2. The
+  // generated assumption is
+  //   G ((x = 0) && [x <- x+1] && X [x <- x+1] -> X X (x = 2)).
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob =
+      obligation(Spec, "x = 0", "x = 2", Obligation::Kind::Eventually);
+  auto A = Gen.generate(Ob);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_FALSE(A->IsLoop);
+  EXPECT_EQ(A->Sequential.Steps.size(), 2u);
+  EXPECT_EQ(A->Assumption->str(),
+            "G (((x = 0) && [x <- (x + 1)] && X [x <- (x + 1)]) -> "
+            "X X (x = 2))");
+}
+
+TEST_F(AssumptionGeneratorTest, ExactStepEncoding) {
+  // Example 4.2: height exactly 2, post-condition x = 0 again.
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> X X (x = 0);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob = obligation(Spec, "x = 0", "x = 0", Obligation::Kind::Exact,
+                             /*Steps=*/2);
+  auto A = Gen.generate(Ob);
+  ASSERT_TRUE(A.has_value());
+  ASSERT_EQ(A->Sequential.Steps.size(), 2u);
+  // One increment and one decrement, in either order.
+  std::string S0 = A->Sequential.Steps[0].at("x")->str();
+  std::string S1 = A->Sequential.Steps[1].at("x")->str();
+  EXPECT_TRUE((S0 == "(x + 1)" && S1 == "(x - 1)") ||
+              (S0 == "(x - 1)" && S1 == "(x + 1)"));
+}
+
+TEST_F(AssumptionGeneratorTest, LoopEncodingExampleFourFive) {
+  // Example 4.5: from x < 0 reach x = 0; needs the W-encoded loop:
+  //   G ((x < 0) && ([x <- x+1] W (x = 0)) -> F (x = 0)).
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = -5; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      0 > x -> F (x = 0);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob =
+      obligation(Spec, "x < 0", "x = 0", Obligation::Kind::Eventually);
+  AssumptionGenerator::Options Opts;
+  Opts.MaxSequentialSteps = 0; // Force the loop path.
+  Gen.Opts = Opts;
+  auto A = Gen.generate(Ob);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_TRUE(A->IsLoop);
+  EXPECT_EQ(A->Assumption->str(),
+            "G (((x < 0) && ([x <- (x + 1)] W (x = 0))) -> F (x = 0))");
+}
+
+TEST_F(AssumptionGeneratorTest, QueryRestrictsCellsToPostCondition) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; int y = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x];
+      [y <- y + 1] || [y <- y];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob =
+      obligation(Spec, "x = 0", "x = 2", Obligation::Kind::Eventually);
+  SygusQuery Q = Gen.buildQuery(Ob);
+  ASSERT_EQ(Q.Cells.size(), 1u);
+  EXPECT_EQ(Q.Cells[0].Name, "x");
+  EXPECT_EQ(Q.Cells[0].Updates.size(), 2u);
+}
+
+TEST_F(AssumptionGeneratorTest, UnsolvableObligationYieldsNothing) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x];
+      x = 0 -> F (x < 0);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  // x only grows: x < 0 is unreachable from x = 0.
+  Obligation Ob =
+      obligation(Spec, "x = 0", "x < 0", Obligation::Kind::Eventually);
+  EXPECT_FALSE(Gen.generate(Ob).has_value());
+}
+
+TEST_F(AssumptionGeneratorTest, RefinementGuaranteeShape) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob =
+      obligation(Spec, "x = 0", "x = 2", Obligation::Kind::Eventually);
+  auto A = Gen.generate(Ob);
+  ASSERT_TRUE(A.has_value());
+  const Formula *G = Gen.refinementGuarantee(*A);
+  EXPECT_EQ(G->str(),
+            "G ((x = 0) -> ([x <- (x + 1)] && X [x <- (x + 1)]))");
+}
+
+TEST_F(AssumptionGeneratorTest, ExclusionProducesDifferentAssumption) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  Obligation Ob =
+      obligation(Spec, "x = 0", "x = 2", Obligation::Kind::Eventually);
+  auto First = Gen.generate(Ob);
+  ASSERT_TRUE(First.has_value());
+  auto Second = Gen.generate(Ob, {First->Sequential});
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_NE(First->Assumption, Second->Assumption);
+}
+
+TEST_F(AssumptionGeneratorTest, UninterpretedTheoryExampleFourThree) {
+  // Example 4.3 (plain TSL): the assumption G (p x && [y <- x] -> X p y).
+  Specification Spec = parse(R"(
+    #UF#
+    inputs { opaque x; }
+    cells { opaque y; }
+    functions { bool p(opaque); }
+    always guarantee {
+      [y <- y] || [y <- x];
+      p x -> X (p y);
+    }
+  )");
+  AssumptionGenerator Gen(Spec, Ctx);
+  ParseError Err;
+  const Formula *PX = parseFormula("p x", Spec, Ctx, Err);
+  const Formula *PY = parseFormula("p y", Spec, Ctx, Err);
+  ASSERT_TRUE(PX && PY) << Err.str();
+  Obligation Ob;
+  Ob.Pre = {{PX->pred(), true}};
+  Ob.Post = {{PY->pred(), true}};
+  Ob.K = Obligation::Kind::Exact;
+  Ob.Steps = 1;
+  auto A = Gen.generate(Ob);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->Assumption->str(),
+            "G (((p x) && [y <- x]) -> X (p y))");
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- tests/core/ConsistencyCheckerTest.cpp - Sec. 4.2 tests -------------===//
+
+#include "core/ConsistencyChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class ConsistencyCheckerTest : public ::testing::Test {
+protected:
+  const Term *cmp(const char *Op, const Term *A, const Term *B) {
+    return Ctx.Terms.apply(Op, Sort::Bool, {A, B});
+  }
+
+  Context Ctx;
+};
+
+TEST_F(ConsistencyCheckerTest, MutexExample) {
+  // The Sec. 4.2 example: predicates x < y and y < x; their conjunction
+  // is unsatisfiable, producing G !(x < y && y < x).
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  const Term *Y = Ctx.Terms.signal("y", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("<", X, Y), cmp("<", Y, X)};
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx);
+  ASSERT_EQ(R.Assumptions.size(), 1u);
+  EXPECT_EQ(R.Assumptions[0]->str(), "G ! ((x < y) && (y < x))");
+}
+
+TEST_F(ConsistencyCheckerTest, ConsistentPredicatesProduceNothing) {
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("<", X, Ctx.Terms.numeral(5)),
+                                     cmp(">", X, Ctx.Terms.numeral(0))};
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx);
+  EXPECT_TRUE(R.Assumptions.empty());
+  EXPECT_GT(R.SolverQueries, 0u);
+}
+
+TEST_F(ConsistencyCheckerTest, SingleLiteralContradiction) {
+  // x < x alone is unsatisfiable.
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("<", X, X)};
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx);
+  ASSERT_EQ(R.Assumptions.size(), 1u);
+  EXPECT_EQ(R.Assumptions[0]->str(), "G ! (x < x)");
+}
+
+TEST_F(ConsistencyCheckerTest, MinimalCoresSuppressSupersets) {
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  const Term *Y = Ctx.Terms.signal("y", Sort::Int);
+  const Term *Z = Ctx.Terms.signal("z", Sort::Int);
+  // {x<y, y<x} unsat; adding z<z's companions should not re-report
+  // supersets in minimal mode.
+  std::vector<const Term *> Preds = {cmp("<", X, Y), cmp("<", Y, X),
+                                     cmp("<", Z, Ctx.Terms.numeral(3))};
+  ConsistencyOptions Minimal;
+  Minimal.MinimalCoresOnly = true;
+  ConsistencyResult RMin = checkConsistency(Preds, Theory::LIA, Ctx, Minimal);
+  EXPECT_EQ(RMin.Assumptions.size(), 1u);
+
+  ConsistencyOptions Full;
+  Full.MinimalCoresOnly = false;
+  ConsistencyResult RFull = checkConsistency(Preds, Theory::LIA, Ctx, Full);
+  // Powerset mode reports the pair and its size-3 superset.
+  EXPECT_EQ(RFull.Assumptions.size(), 2u);
+  EXPECT_GE(RFull.SolverQueries, RMin.SolverQueries);
+}
+
+TEST_F(ConsistencyCheckerTest, ThreeWayCoreNeedsSizeThree) {
+  // x < y, y < z, z < x: pairwise consistent, jointly unsat.
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  const Term *Y = Ctx.Terms.signal("y", Sort::Int);
+  const Term *Z = Ctx.Terms.signal("z", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("<", X, Y), cmp("<", Y, Z),
+                                     cmp("<", Z, X)};
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx);
+  ASSERT_EQ(R.Assumptions.size(), 1u);
+  EXPECT_NE(R.Assumptions[0]->str().find("(x < y)"), std::string::npos);
+  EXPECT_NE(R.Assumptions[0]->str().find("(y < z)"), std::string::npos);
+  EXPECT_NE(R.Assumptions[0]->str().find("(z < x)"), std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, SubsetSizeCap) {
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  const Term *Y = Ctx.Terms.signal("y", Sort::Int);
+  const Term *Z = Ctx.Terms.signal("z", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("<", X, Y), cmp("<", Y, Z),
+                                     cmp("<", Z, X)};
+  ConsistencyOptions Options;
+  Options.MaxSubsetSize = 2; // The size-3 core is out of reach.
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx, Options);
+  EXPECT_TRUE(R.Assumptions.empty());
+}
+
+TEST_F(ConsistencyCheckerTest, EmptyPredicateSet) {
+  ConsistencyResult R = checkConsistency({}, Theory::LIA, Ctx);
+  EXPECT_TRUE(R.Assumptions.empty());
+  EXPECT_EQ(R.SolverQueries, 0u);
+}
+
+TEST_F(ConsistencyCheckerTest, EqualityChainUnsat) {
+  // x = 0 && x = 2 is unsatisfiable: exactly the consistency fact the
+  // intro example needs.
+  const Term *X = Ctx.Terms.signal("x", Sort::Int);
+  std::vector<const Term *> Preds = {cmp("=", X, Ctx.Terms.numeral(0)),
+                                     cmp("=", X, Ctx.Terms.numeral(2))};
+  ConsistencyResult R = checkConsistency(Preds, Theory::LIA, Ctx);
+  ASSERT_EQ(R.Assumptions.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tests/core/SynthesizerTest.cpp - Full pipeline tests ---------------===//
+
+#include "core/Synthesizer.h"
+
+#include "core/AssumptionCore.h"
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class SynthesizerTest : public ::testing::Test {
+protected:
+  Specification parse(const std::string &Source) {
+    ParseError Err;
+    auto Spec = parseSpecification(Source, Ctx, Err);
+    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    return *Spec;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(SynthesizerTest, IntroCounterExample) {
+  // The introduction's spec: unrealizable in plain TSL, realizable in
+  // TSL modulo LIA thanks to the generated assumption.
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  ASSERT_TRUE(R.Machine.has_value());
+  EXPECT_GT(R.Stats.AssumptionCount, 0u);
+  EXPECT_EQ(R.Stats.PredicateCount, 2u);
+  EXPECT_EQ(R.Stats.UpdateTermCount, 2u);
+}
+
+TEST_F(SynthesizerTest, PlainTslIsUnrealizableWithoutAssumptions) {
+  // The same spec, but with assumption generation disabled (no
+  // obligations -> no psi): the plain TSL underapproximation cannot
+  // realize it, exactly the paper's point.
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineOptions Options;
+  Options.Decomp.MaxObligations = 0;
+  Options.Consistency.MaxSubsetSize = 0;
+  PipelineResult R = Synth.run(Spec, Options);
+  EXPECT_EQ(R.Status, Realizability::Unrealizable);
+}
+
+TEST_F(SynthesizerTest, MutexExampleNeedsConsistency) {
+  // Sec. 4.2's min example: realizable only with the consistency
+  // assumption G !(x < y && y < x).
+  Specification Spec = parse(R"(
+    #LIA#
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee {
+      G (x < y -> [m <- x]);
+      G (y < x -> [m <- y]);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  EXPECT_FALSE(R.ConsistencyAssumptions.empty());
+
+  // Without consistency checking the spec is unrealizable.
+  PipelineOptions NoConsistency;
+  NoConsistency.Consistency.MaxSubsetSize = 0;
+  PipelineResult R2 = Synth.run(Spec, NoConsistency);
+  EXPECT_EQ(R2.Status, Realizability::Unrealizable);
+}
+
+TEST_F(SynthesizerTest, RefinementLoopExampleFourSix) {
+  // Example 4.6: [x <- x+1] must be followed by [x <- x], so the first
+  // SyGuS program (+1;+1) is unhelpful and refinement must find
+  // (+1; skip; +1).
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x];
+      [x <- x + 1] -> X [x <- x];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  EXPECT_GT(R.Stats.Refinements, 0u);
+}
+
+TEST_F(SynthesizerTest, VibratoStyleSpec) {
+  // A cut-down Fig. 5 vibrato: threshold-crossing liveness over a real
+  // cell.
+  Specification Spec = parse(R"(
+    #RA#
+    cells { real freq = 0; bool lfo; }
+    always guarantee {
+      [freq <- freq + 1] || [freq <- freq - 1];
+      freq <= c10() -> F (freq > c10());
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  EXPECT_GT(R.Stats.AssumptionCount, 0u);
+}
+
+TEST_F(SynthesizerTest, LazyModeMatchesEagerVerdict) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineOptions Lazy;
+  Lazy.Eager = false;
+  PipelineResult R = Synth.run(Spec, Lazy);
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  // Lazy mode re-runs reactive synthesis at least once more than eager.
+  EXPECT_GE(R.Stats.ReactiveRuns, 1u);
+}
+
+TEST_F(SynthesizerTest, StatsTimingsPopulated) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_GT(R.Stats.SpecSize, 0u);
+  EXPECT_GE(R.Stats.PsiGenSeconds, 0.0);
+  EXPECT_GE(R.Stats.SynthesisSeconds, 0.0);
+  EXPECT_GE(R.Stats.ReactiveRuns, 1u);
+}
+
+TEST_F(SynthesizerTest, OracleMinimizesAssumptions) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  OracleResult O = computeOracle(Spec, R.Assumptions, Ctx);
+  EXPECT_EQ(O.Status, Realizability::Realizable);
+  EXPECT_LE(O.Core.size(), R.Assumptions.size());
+  EXPECT_GT(O.RealizabilityChecks, 0u);
+  // The core must still be realizable (checked inside computeOracle) and
+  // nonempty for this spec (plain TSL alone is unrealizable).
+  EXPECT_GE(O.Core.size(), 1u);
+}
+
+TEST_F(SynthesizerTest, UnrealizableSpecReported) {
+  // x must eventually exceed any input... the guarantee G p over an
+  // environment-controlled predicate is hopeless.
+  Specification Spec = parse(R"(
+    #LIA#
+    inputs { int a; }
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x];
+      a < x;
+    }
+  )");
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(Spec);
+  EXPECT_EQ(R.Status, Realizability::Unrealizable);
+}
+
+} // namespace

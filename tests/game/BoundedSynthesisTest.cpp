@@ -1,0 +1,196 @@
+//===- tests/game/BoundedSynthesisTest.cpp - Synthesis game tests ---------===//
+
+#include "game/BoundedSynthesis.h"
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class BoundedSynthesisTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ParseError Err;
+    auto Parsed = parseSpecification(R"(
+      #LIA#
+      inputs { bool p, q; }
+      cells { int x = 0; }
+      always guarantee {
+        G ([x <- x + 1] || [x <- x - 1] || [x <- x]);
+      }
+    )", Ctx, Err);
+    ASSERT_TRUE(Parsed.has_value()) << Err.str();
+    Spec = *Parsed;
+    AB = Alphabet::build(Spec, Ctx);
+  }
+
+  const Formula *formula(const std::string &Source) {
+    ParseError Err;
+    const Formula *F = parseFormula(Source, Spec, Ctx, Err);
+    EXPECT_NE(F, nullptr) << Err.str();
+    return F;
+  }
+
+  SynthesisResult synth(const std::string &Source) {
+    const Formula *F = formula(Source);
+    // The alphabet must cover the synthesized formula's atoms, exactly
+    // as the pipeline builds it from spec + generated assumptions.
+    AB = Alphabet::build(Spec, Ctx, {F});
+    return synthesizeLtl(F, Ctx, AB);
+  }
+
+  /// Simulates the machine on an input sequence and checks the reaction
+  /// predicate at each step.
+  void checkReactions(
+      const MealyMachine &M, const std::vector<uint32_t> &Inputs,
+      const std::function<void(uint32_t In, uint32_t Out, size_t Step)>
+          &Check) {
+    uint32_t State = M.initialState();
+    uint32_t Mask = static_cast<uint32_t>(M.inputCount()) - 1;
+    for (size_t Step = 0; Step < Inputs.size(); ++Step) {
+      uint32_t In = Inputs[Step] & Mask;
+      MealyMachine::Edge E = M.step(State, In);
+      Check(In, E.Output, Step);
+      State = E.NextState;
+    }
+  }
+
+  /// True if update option [x <- x + 1] fires in output letter Out.
+  bool firesInc(uint32_t Out) {
+    const Formula *Inc = AB.cells()[0].Options[0];
+    EXPECT_EQ(Inc->updateValue()->str(), "(x + 1)");
+    return AB.holds(Inc, Letter{0, Out});
+  }
+
+  Context Ctx;
+  Specification Spec;
+  Alphabet AB;
+};
+
+TEST_F(BoundedSynthesisTest, TriviallyRealizable) {
+  auto R = synth("true");
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+  ASSERT_TRUE(R.Machine.has_value());
+  EXPECT_GE(R.Machine->stateCount(), 1u);
+}
+
+TEST_F(BoundedSynthesisTest, SystemCannotControlInputs) {
+  // The environment owns p: the system cannot force it.
+  EXPECT_EQ(synth("G p").Status, Realizability::Unrealizable);
+  EXPECT_EQ(synth("F p").Status, Realizability::Unrealizable);
+  EXPECT_EQ(synth("p").Status, Realizability::Unrealizable);
+  EXPECT_EQ(synth("X p").Status, Realizability::Unrealizable);
+}
+
+TEST_F(BoundedSynthesisTest, SystemControlsUpdates) {
+  EXPECT_EQ(synth("G [x <- x + 1]").Status, Realizability::Realizable);
+  EXPECT_EQ(synth("G F [x <- x + 1]").Status, Realizability::Realizable);
+  EXPECT_EQ(synth("F [x <- x - 1]").Status, Realizability::Realizable);
+  // Two permanent different updates are structurally impossible.
+  EXPECT_EQ(synth("G [x <- x + 1] && F [x <- x - 1]").Status,
+            Realizability::Unrealizable);
+}
+
+TEST_F(BoundedSynthesisTest, ReactiveResponse) {
+  // G (p -> [x <- x+1]): copy the input into the update choice.
+  auto R = synth("G (p -> [x <- x + 1])");
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  ASSERT_TRUE(R.Machine.has_value());
+  // Whenever input bit p (bit 0) is set, the inc option must fire.
+  checkReactions(*R.Machine, {1, 0, 1, 1, 3, 2, 0, 1},
+                 [&](uint32_t In, uint32_t Out, size_t Step) {
+                   if (In & 1)
+                     EXPECT_TRUE(firesInc(Out)) << "step " << Step;
+                 });
+}
+
+TEST_F(BoundedSynthesisTest, IffResponse) {
+  auto R = synth("G (p <-> [x <- x + 1])");
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  checkReactions(*R.Machine, {1, 0, 3, 2, 1, 0},
+                 [&](uint32_t In, uint32_t Out, size_t Step) {
+                   EXPECT_EQ(static_cast<bool>(In & 1), firesInc(Out))
+                       << "step " << Step;
+                 });
+}
+
+TEST_F(BoundedSynthesisTest, DelayedResponse) {
+  // G (p -> X [x <- x+1]): needs one state of memory.
+  auto R = synth("G (p -> X [x <- x + 1])");
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  ASSERT_TRUE(R.Machine.has_value());
+  EXPECT_GE(R.Machine->stateCount(), 2u);
+  uint32_t PrevIn = 0;
+  checkReactions(*R.Machine, {1, 0, 1, 1, 0, 2, 1, 0},
+                 [&](uint32_t In, uint32_t Out, size_t Step) {
+                   if (Step > 0 && (PrevIn & 1))
+                     EXPECT_TRUE(firesInc(Out)) << "step " << Step;
+                   PrevIn = In;
+                 });
+}
+
+TEST_F(BoundedSynthesisTest, ConflictingObligationsUnrealizable) {
+  // p and q can hold together, forcing contradictory updates.
+  EXPECT_EQ(
+      synth("G ((p -> [x <- x + 1]) && (q -> [x <- x - 1]))").Status,
+      Realizability::Unrealizable);
+  // With the consistency assumption G !(p && q) it becomes realizable
+  // (the Sec. 4.2 mechanism).
+  EXPECT_EQ(synth("G (! (p && q)) -> "
+                  "G ((p -> [x <- x + 1]) && (q -> [x <- x - 1]))")
+                .Status,
+            Realizability::Realizable);
+}
+
+TEST_F(BoundedSynthesisTest, UntilGuarantee) {
+  auto R = synth("[x <- x] U p || G [x <- x]");
+  EXPECT_EQ(R.Status, Realizability::Realizable);
+}
+
+TEST_F(BoundedSynthesisTest, LivenessUnderFairness) {
+  // Without fairness, q may never arrive: the response
+  // G(p -> F q)-style guarantee on an input is unrealizable...
+  EXPECT_EQ(synth("G (p -> F q)").Status, Realizability::Unrealizable);
+  // ...but the update version is realizable since the system owns it.
+  EXPECT_EQ(synth("G (p -> F [x <- x - 1])").Status,
+            Realizability::Realizable);
+}
+
+TEST_F(BoundedSynthesisTest, BoundZeroSafetySuffices) {
+  // Safety specs are realizable at counter bound 0: force a {0}-only
+  // schedule and check it succeeds there.
+  const Formula *F = formula("G [x <- x + 1]");
+  AB = Alphabet::build(Spec, Ctx, {F});
+  SynthesisOptions Options;
+  Options.BoundSchedule = {0};
+  auto R = synthesizeLtl(F, Ctx, AB, Options);
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  EXPECT_EQ(R.Stats.BoundUsed, 0u);
+}
+
+TEST_F(BoundedSynthesisTest, CheckRealizableAgreesWithSynthesize) {
+  const Formula *Good = formula("G [x <- x + 1]");
+  Alphabet A1 = Alphabet::build(Spec, Ctx, {Good});
+  EXPECT_EQ(checkRealizable(Good, Ctx, A1), Realizability::Realizable);
+  const Formula *Bad = formula("G p");
+  Alphabet A2 = Alphabet::build(Spec, Ctx, {Bad});
+  EXPECT_EQ(checkRealizable(Bad, Ctx, A2), Realizability::Unrealizable);
+}
+
+TEST_F(BoundedSynthesisTest, MachineEdgesAreTotal) {
+  auto R = synth("G (p -> [x <- x + 1])");
+  ASSERT_EQ(R.Status, Realizability::Realizable);
+  const MealyMachine &M = *R.Machine;
+  EXPECT_EQ(M.inputCount(), AB.inputLetterCount());
+  for (uint32_t S = 0; S < M.stateCount(); ++S)
+    for (uint32_t In = 0; In < M.inputCount(); ++In) {
+      MealyMachine::Edge E = M.edge(S, In);
+      EXPECT_LT(E.NextState, M.stateCount());
+      EXPECT_LT(E.Output, AB.outputLetterCount());
+    }
+}
+
+} // namespace

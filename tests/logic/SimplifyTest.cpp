@@ -1,0 +1,92 @@
+//===- tests/logic/SimplifyTest.cpp - Simplifier tests --------------------===//
+
+#include "logic/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+protected:
+  const Formula *atom(const std::string &Name) {
+    return FF.pred(TF.signal(Name, Sort::Bool));
+  }
+
+  TermFactory TF;
+  FormulaFactory FF;
+};
+
+TEST_F(SimplifyTest, GloballyDistributesOverAnd) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  const Formula *F = FF.globally(FF.andF(A, B));
+  EXPECT_EQ(simplify(F, FF), FF.andF(FF.globally(A), FF.globally(B)));
+}
+
+TEST_F(SimplifyTest, FinallyDistributesOverOr) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  const Formula *F = FF.finallyF(FF.orF(A, B));
+  EXPECT_EQ(simplify(F, FF), FF.orF(FF.finallyF(A), FF.finallyF(B)));
+}
+
+TEST_F(SimplifyTest, NextDistributes) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  EXPECT_EQ(simplify(FF.next(FF.andF(A, B)), FF),
+            FF.andF(FF.next(A), FF.next(B)));
+  EXPECT_EQ(simplify(FF.next(FF.orF(A, B)), FF),
+            FF.orF(FF.next(A), FF.next(B)));
+}
+
+TEST_F(SimplifyTest, NestedGloballyCollapses) {
+  const Formula *A = atom("a");
+  EXPECT_EQ(simplify(FF.globally(FF.globally(A)), FF), FF.globally(A));
+  EXPECT_EQ(simplify(FF.finallyF(FF.finallyF(A)), FF), FF.finallyF(A));
+}
+
+TEST_F(SimplifyTest, UntilIdempotence) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  const Formula *Inner = FF.until(A, B);
+  EXPECT_EQ(simplify(FF.until(A, Inner), FF), Inner);
+}
+
+TEST_F(SimplifyTest, WeakUntilUnits) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  EXPECT_EQ(simplify(FF.weakUntil(FF.trueF(), B), FF), FF.trueF());
+  EXPECT_EQ(simplify(FF.weakUntil(A, FF.trueF()), FF), FF.trueF());
+  EXPECT_EQ(simplify(FF.weakUntil(FF.falseF(), B), FF), B);
+  EXPECT_EQ(simplify(FF.weakUntil(A, FF.falseF()), FF), FF.globally(A));
+}
+
+TEST_F(SimplifyTest, ReleaseUnits) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  EXPECT_EQ(simplify(FF.release(FF.trueF(), B), FF), B);
+  const Formula *Inner = FF.release(A, B);
+  EXPECT_EQ(simplify(FF.release(A, Inner), FF), Inner);
+}
+
+TEST_F(SimplifyTest, RecursesThroughConnectives) {
+  const Formula *A = atom("a");
+  const Formula *B = atom("b");
+  const Formula *F =
+      FF.implies(FF.globally(FF.globally(A)), FF.notF(FF.finallyF(FF.finallyF(B))));
+  const Formula *S = simplify(F, FF);
+  EXPECT_EQ(S, FF.implies(FF.globally(A), FF.notF(FF.finallyF(B))));
+}
+
+TEST_F(SimplifyTest, AtomsUntouched) {
+  const Formula *A = atom("a");
+  EXPECT_EQ(simplify(A, FF), A);
+  EXPECT_EQ(simplify(FF.trueF(), FF), FF.trueF());
+  const Term *X = TF.signal("x", Sort::Int);
+  const Formula *U = FF.update("x", X);
+  EXPECT_EQ(simplify(U, FF), U);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/support/RationalTest.cpp - Rational arithmetic tests ---------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+TEST(Rational, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.numerator(), 0);
+  EXPECT_EQ(R.denominator(), 1);
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational R(4, 8);
+  EXPECT_EQ(R.numerator(), 1);
+  EXPECT_EQ(R.denominator(), 2);
+
+  Rational Negative(3, -6);
+  EXPECT_EQ(Negative.numerator(), -1);
+  EXPECT_EQ(Negative.denominator(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2);
+  Rational Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByNegative) {
+  EXPECT_EQ(Rational(1) / Rational(-2), Rational(-1, 2));
+  EXPECT_EQ(Rational(-3, 4) / Rational(-1, 2), Rational(3, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(7));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6).floor(), 6);
+  EXPECT_EQ(Rational(6).ceil(), 6);
+  EXPECT_EQ(Rational(-6).floor(), -6);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(5).str(), "5");
+  EXPECT_EQ(Rational(-5).str(), "-5");
+  EXPECT_EQ(Rational(1, 3).str(), "1/3");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+}
+
+TEST(Rational, ParseInteger) {
+  Rational R;
+  ASSERT_TRUE(Rational::parse("42", R));
+  EXPECT_EQ(R, Rational(42));
+  ASSERT_TRUE(Rational::parse("-42", R));
+  EXPECT_EQ(R, Rational(-42));
+}
+
+TEST(Rational, ParseFraction) {
+  Rational R;
+  ASSERT_TRUE(Rational::parse("3/4", R));
+  EXPECT_EQ(R, Rational(3, 4));
+  ASSERT_TRUE(Rational::parse("-3/9", R));
+  EXPECT_EQ(R, Rational(-1, 3));
+}
+
+TEST(Rational, ParseDecimal) {
+  Rational R;
+  ASSERT_TRUE(Rational::parse("2.5", R));
+  EXPECT_EQ(R, Rational(5, 2));
+  ASSERT_TRUE(Rational::parse("-0.25", R));
+  EXPECT_EQ(R, Rational(-1, 4));
+}
+
+TEST(Rational, ParseRejectsGarbage) {
+  Rational R;
+  EXPECT_FALSE(Rational::parse("", R));
+  EXPECT_FALSE(Rational::parse("abc", R));
+  EXPECT_FALSE(Rational::parse("1/0", R));
+  EXPECT_FALSE(Rational::parse("1.2.3", R));
+  EXPECT_FALSE(Rational::parse("1/", R));
+}
+
+TEST(DeltaRational, StrictBoundOrdering) {
+  // x <= 3 - delta < 3: models x < 3 exactly.
+  DeltaRational StrictBelow3(Rational(3), Rational(-1));
+  DeltaRational Exactly3(Rational(3));
+  EXPECT_LT(StrictBelow3, Exactly3);
+  EXPECT_GT(Exactly3, StrictBelow3);
+}
+
+TEST(DeltaRational, Arithmetic) {
+  DeltaRational A(Rational(1), Rational(2));
+  DeltaRational B(Rational(3), Rational(-1));
+  DeltaRational Sum = A + B;
+  EXPECT_EQ(Sum.real(), Rational(4));
+  EXPECT_EQ(Sum.delta(), Rational(1));
+  DeltaRational Scaled = A * Rational(3);
+  EXPECT_EQ(Scaled.real(), Rational(3));
+  EXPECT_EQ(Scaled.delta(), Rational(6));
+}
+
+TEST(DeltaRational, ComparesRealPartFirst) {
+  DeltaRational A(Rational(1), Rational(100));
+  DeltaRational B(Rational(2), Rational(-100));
+  EXPECT_LT(A, B);
+}

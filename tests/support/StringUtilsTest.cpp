@@ -1,0 +1,56 @@
+//===- tests/support/StringUtilsTest.cpp ----------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nhi\r "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nochange"), "nochange");
+}
+
+TEST(StringUtils, Split) {
+  auto Pieces = split("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+
+  auto SingleItem = split("solo", ',');
+  ASSERT_EQ(SingleItem.size(), 1u);
+  EXPECT_EQ(SingleItem[0], "solo");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"one"}, ", "), "one");
+}
+
+TEST(StringUtils, SplitJoinRoundTrip) {
+  std::string Text = "x|y|z";
+  EXPECT_EQ(join(split(Text, '|'), "|"), Text);
+}
+
+TEST(StringUtils, IsIdentifier) {
+  EXPECT_TRUE(isIdentifier("task1"));
+  EXPECT_TRUE(isIdentifier("_private"));
+  EXPECT_TRUE(isIdentifier("x'"));
+  EXPECT_FALSE(isIdentifier(""));
+  EXPECT_FALSE(isIdentifier("1abc"));
+  EXPECT_FALSE(isIdentifier("a b"));
+  EXPECT_FALSE(isIdentifier("a-b"));
+}
+
+TEST(StringUtils, ReplaceAll) {
+  EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replaceAll("hello world", "o", "0"), "hell0 w0rld");
+  EXPECT_EQ(replaceAll("nothing", "zz", "x"), "nothing");
+  EXPECT_EQ(replaceAll("abc", "", "x"), "abc");
+}

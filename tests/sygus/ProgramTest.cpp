@@ -1,0 +1,110 @@
+//===- tests/sygus/ProgramTest.cpp - Program composition tests ------------===//
+
+#include "sygus/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class ProgramTest : public ::testing::Test {
+protected:
+  const Term *X() { return TF.signal("x", Sort::Int); }
+  const Term *Y() { return TF.signal("y", Sort::Int); }
+  const Term *inc(const Term *T) {
+    return TF.apply("+", Sort::Int, {T, TF.numeral(1)});
+  }
+
+  TermFactory TF;
+  Evaluator E;
+};
+
+TEST_F(ProgramTest, SymbolicSingleStep) {
+  StepChoice Step = {{"x", inc(X())}};
+  auto Final = composeSymbolic(TF, {"x"}, {Sort::Int}, {Step});
+  EXPECT_EQ(Final.at("x")->str(), "(x + 1)");
+}
+
+TEST_F(ProgramTest, SymbolicChainedSteps) {
+  StepChoice Step = {{"x", inc(X())}};
+  auto Final = composeSymbolic(TF, {"x"}, {Sort::Int}, {Step, Step});
+  EXPECT_EQ(Final.at("x")->str(), "((x + 1) + 1)");
+}
+
+TEST_F(ProgramTest, ParallelSwapSeesPreStepState) {
+  // Simultaneous [x <- y], [y <- x] must swap, not alias.
+  StepChoice Swap = {{"x", Y()}, {"y", X()}};
+  auto Final = composeSymbolic(TF, {"x", "y"}, {Sort::Int, Sort::Int}, {Swap});
+  EXPECT_EQ(Final.at("x")->str(), "y");
+  EXPECT_EQ(Final.at("y")->str(), "x");
+
+  // And twice restores the identity.
+  auto Twice =
+      composeSymbolic(TF, {"x", "y"}, {Sort::Int, Sort::Int}, {Swap, Swap});
+  EXPECT_EQ(Twice.at("x")->str(), "x");
+  EXPECT_EQ(Twice.at("y")->str(), "y");
+}
+
+TEST_F(ProgramTest, CellsNotInStepKeepValue) {
+  StepChoice Step = {{"x", inc(X())}};
+  auto Final =
+      composeSymbolic(TF, {"x", "y"}, {Sort::Int, Sort::Int}, {Step});
+  EXPECT_EQ(Final.at("y")->str(), "y");
+}
+
+TEST_F(ProgramTest, ConcreteExecution) {
+  Assignment State = {{"x", Value::integer(0)}};
+  StepChoice Step = {{"x", inc(X())}};
+  ASSERT_TRUE(applyStepConcrete(E, State, Step));
+  ASSERT_TRUE(applyStepConcrete(E, State, Step));
+  EXPECT_EQ(State.at("x").getNumber(), Rational(2));
+}
+
+TEST_F(ProgramTest, ConcreteSwap) {
+  Assignment State = {{"x", Value::integer(1)}, {"y", Value::integer(2)}};
+  StepChoice Swap = {{"x", Y()}, {"y", X()}};
+  ASSERT_TRUE(applyStepConcrete(E, State, Swap));
+  EXPECT_EQ(State.at("x").getNumber(), Rational(2));
+  EXPECT_EQ(State.at("y").getNumber(), Rational(1));
+}
+
+TEST_F(ProgramTest, ConcreteFailureOnMissingSignal) {
+  Assignment State = {{"x", Value::integer(0)}};
+  StepChoice Step = {{"x", Y()}}; // y unassigned.
+  EXPECT_FALSE(applyStepConcrete(E, State, Step));
+}
+
+TEST_F(ProgramTest, ProgramStr) {
+  SequentialProgram P;
+  P.Steps = {{{"x", inc(X())}}, {{"x", inc(X())}}};
+  EXPECT_EQ(P.str(), "{[x <- (x + 1)]}; {[x <- (x + 1)]}");
+  LoopProgram L{{{{"x", inc(X())}}}};
+  EXPECT_EQ(L.str(), "while (!post) {[x <- (x + 1)]}");
+}
+
+TEST_F(ProgramTest, SymbolicMatchesConcrete) {
+  // Property check on a fixed seed set: composing symbolically and then
+  // evaluating equals executing concretely.
+  StepChoice S1 = {{"x", inc(X())}, {"y", X()}};
+  StepChoice S2 = {{"x", TF.apply("+", Sort::Int, {X(), Y()})}};
+  std::vector<StepChoice> Steps = {S1, S2, S1};
+  auto Final = composeSymbolic(TF, {"x", "y"}, {Sort::Int, Sort::Int}, Steps);
+
+  for (int64_t XV = -3; XV <= 3; ++XV) {
+    for (int64_t YV = -2; YV <= 2; ++YV) {
+      Assignment Init = {{"x", Value::integer(XV)}, {"y", Value::integer(YV)}};
+      Assignment State = Init;
+      for (const StepChoice &Step : Steps)
+        ASSERT_TRUE(applyStepConcrete(E, State, Step));
+      for (const char *Cell : {"x", "y"}) {
+        auto Symbolic = E.evaluate(Final.at(Cell), Init);
+        ASSERT_TRUE(Symbolic.has_value());
+        EXPECT_EQ(*Symbolic, State.at(Cell))
+            << "cell " << Cell << " x=" << XV << " y=" << YV;
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/theory/CongruenceClosureTest.cpp - EUF tests -----------------===//
+
+#include "theory/CongruenceClosure.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class CongruenceClosureTest : public ::testing::Test {
+protected:
+  const Term *sig(const std::string &Name) {
+    return F.signal(Name, Sort::Opaque);
+  }
+  const Term *app(const std::string &Fn, const Term *Arg) {
+    return F.apply(Fn, Sort::Opaque, {Arg});
+  }
+
+  TermFactory F;
+  CongruenceClosure CC;
+};
+
+TEST_F(CongruenceClosureTest, ReflexiveEquality) {
+  const Term *X = sig("x");
+  EXPECT_TRUE(CC.areEqual(X, X));
+}
+
+TEST_F(CongruenceClosureTest, MergeMakesEqual) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  EXPECT_FALSE(CC.areEqual(X, Y));
+  EXPECT_TRUE(CC.merge(X, Y));
+  EXPECT_TRUE(CC.areEqual(X, Y));
+}
+
+TEST_F(CongruenceClosureTest, Transitivity) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  const Term *Z = sig("z");
+  CC.merge(X, Y);
+  CC.merge(Y, Z);
+  EXPECT_TRUE(CC.areEqual(X, Z));
+}
+
+TEST_F(CongruenceClosureTest, CongruencePropagation) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  const Term *FX = app("f", X);
+  const Term *FY = app("f", Y);
+  CC.add(FX);
+  CC.add(FY);
+  EXPECT_FALSE(CC.areEqual(FX, FY));
+  CC.merge(X, Y);
+  EXPECT_TRUE(CC.areEqual(FX, FY));
+}
+
+TEST_F(CongruenceClosureTest, NestedCongruence) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  const Term *FFX = app("f", app("f", X));
+  const Term *FFY = app("f", app("f", Y));
+  CC.add(FFX);
+  CC.add(FFY);
+  CC.merge(X, Y);
+  EXPECT_TRUE(CC.areEqual(FFX, FFY));
+}
+
+TEST_F(CongruenceClosureTest, DifferentFunctionsStayApart) {
+  const Term *X = sig("x");
+  const Term *FX = app("f", X);
+  const Term *GX = app("g", X);
+  CC.add(FX);
+  CC.add(GX);
+  EXPECT_FALSE(CC.areEqual(FX, GX));
+}
+
+TEST_F(CongruenceClosureTest, DisequalityConflict) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  EXPECT_TRUE(CC.addDisequality(X, Y));
+  EXPECT_FALSE(CC.merge(X, Y));
+}
+
+TEST_F(CongruenceClosureTest, DisequalityOnAlreadyEqualFails) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  CC.merge(X, Y);
+  EXPECT_FALSE(CC.addDisequality(X, Y));
+}
+
+TEST_F(CongruenceClosureTest, CongruenceTriggersDisequalityConflict) {
+  // x = y, f(x) != f(y) is inconsistent.
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  const Term *FX = app("f", X);
+  const Term *FY = app("f", Y);
+  EXPECT_TRUE(CC.addDisequality(FX, FY));
+  EXPECT_FALSE(CC.merge(X, Y));
+}
+
+TEST_F(CongruenceClosureTest, BinaryFunctionCongruence) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  const Term *Z = sig("z");
+  const Term *FXZ = F.apply("f", Sort::Opaque, {X, Z});
+  const Term *FYZ = F.apply("f", Sort::Opaque, {Y, Z});
+  CC.add(FXZ);
+  CC.add(FYZ);
+  CC.merge(X, Y);
+  EXPECT_TRUE(CC.areEqual(FXZ, FYZ));
+  // One differing argument blocks congruence.
+  const Term *FZX = F.apply("f", Sort::Opaque, {Z, X});
+  CC.add(FZX);
+  EXPECT_FALSE(CC.areEqual(FXZ, FZX));
+}
+
+TEST_F(CongruenceClosureTest, EqualPairsReporting) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  CC.merge(X, Y);
+  auto Pairs = CC.equalPairs();
+  ASSERT_EQ(Pairs.size(), 1u);
+}
+
+} // namespace

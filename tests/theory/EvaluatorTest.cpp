@@ -1,0 +1,109 @@
+//===- tests/theory/EvaluatorTest.cpp - Ground evaluation tests -----------===//
+
+#include "theory/Evaluator.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Evaluator E;
+  Assignment Env;
+};
+
+TEST_F(EvaluatorTest, Numerals) {
+  auto V = E.evaluate(F.numeral(7), Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getNumber(), Rational(7));
+}
+
+TEST_F(EvaluatorTest, SignalLookup) {
+  Env["x"] = Value::integer(5);
+  auto V = E.evaluate(F.signal("x", Sort::Int), Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getNumber(), Rational(5));
+  EXPECT_FALSE(E.evaluate(F.signal("y", Sort::Int), Env).has_value());
+}
+
+TEST_F(EvaluatorTest, Arithmetic) {
+  Env["x"] = Value::integer(5);
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *Expr = F.apply(
+      "+", Sort::Int, {X, F.apply("*", Sort::Int, {F.numeral(2), X})});
+  auto V = E.evaluate(Expr, Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getNumber(), Rational(15));
+}
+
+TEST_F(EvaluatorTest, Comparisons) {
+  Env["x"] = Value::integer(3);
+  Env["y"] = Value::integer(4);
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *Y = F.signal("y", Sort::Int);
+  EXPECT_EQ(E.evaluateBool(F.apply("<", Sort::Bool, {X, Y}), Env), true);
+  EXPECT_EQ(E.evaluateBool(F.apply(">=", Sort::Bool, {X, Y}), Env), false);
+  EXPECT_EQ(E.evaluateBool(F.apply("=", Sort::Bool, {X, X}), Env), true);
+  EXPECT_EQ(E.evaluateBool(F.apply("!=", Sort::Bool, {X, Y}), Env), true);
+}
+
+TEST_F(EvaluatorTest, BooleanConstants) {
+  EXPECT_EQ(E.evaluateBool(F.apply("True", Sort::Bool, {}), Env), true);
+  EXPECT_EQ(E.evaluateBool(F.apply("False", Sort::Bool, {}), Env), false);
+}
+
+TEST_F(EvaluatorTest, OpaqueConstantsAreSymbols) {
+  auto V = E.evaluate(F.apply("idle", Sort::Opaque, {}), Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->isSymbol());
+  EXPECT_EQ(V->getSymbol(), "idle()");
+}
+
+TEST_F(EvaluatorTest, UninterpretedFunctionsAreCongruent) {
+  Env["x"] = Value::integer(2);
+  Env["y"] = Value::integer(2);
+  const Term *FX = F.apply("f", Sort::Opaque, {F.signal("x", Sort::Int)});
+  const Term *FY = F.apply("f", Sort::Opaque, {F.signal("y", Sort::Int)});
+  auto VX = E.evaluate(FX, Env);
+  auto VY = E.evaluate(FY, Env);
+  ASSERT_TRUE(VX && VY);
+  // Equal arguments -> equal symbolic values (congruence).
+  EXPECT_EQ(*VX, *VY);
+  Env["y"] = Value::integer(3);
+  auto VY2 = E.evaluate(FY, Env);
+  ASSERT_TRUE(VY2);
+  EXPECT_NE(*VX, *VY2);
+}
+
+TEST_F(EvaluatorTest, EqualityOnSymbols) {
+  Env["a"] = Value::symbol("s1");
+  Env["b"] = Value::symbol("s1");
+  const Term *A = F.signal("a", Sort::Opaque);
+  const Term *B = F.signal("b", Sort::Opaque);
+  EXPECT_EQ(E.evaluateBool(F.apply("=", Sort::Bool, {A, B}), Env), true);
+  Env["b"] = Value::symbol("s2");
+  EXPECT_EQ(E.evaluateBool(F.apply("=", Sort::Bool, {A, B}), Env), false);
+}
+
+TEST_F(EvaluatorTest, SortMismatchFails) {
+  Env["a"] = Value::symbol("s1");
+  const Term *A = F.signal("a", Sort::Opaque);
+  EXPECT_FALSE(E.evaluate(F.apply("+", Sort::Int, {A, A}), Env).has_value());
+  EXPECT_FALSE(E.evaluateBool(F.apply("<", Sort::Bool, {A, A}), Env)
+                   .has_value());
+}
+
+TEST_F(EvaluatorTest, RealArithmetic) {
+  Env["f"] = Value::number(Rational(5, 2));
+  const Term *Freq = F.signal("f", Sort::Real);
+  const Term *Expr =
+      F.apply("+", Sort::Real, {Freq, F.numeral(Rational(1, 2), Sort::Real)});
+  auto V = E.evaluate(Expr, Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getNumber(), Rational(3));
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/theory/LinearExprTest.cpp - Linear extraction tests ----------===//
+
+#include "theory/LinearExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class LinearExprTest : public ::testing::Test {
+protected:
+  TermFactory F;
+};
+
+TEST_F(LinearExprTest, FromSignal) {
+  auto E = LinearExpr::fromTerm(F.signal("x", Sort::Int));
+  ASSERT_TRUE(E.has_value());
+  ASSERT_EQ(E->coefficients().size(), 1u);
+  EXPECT_EQ(E->coefficients().at("x"), Rational(1));
+  EXPECT_EQ(E->constant(), Rational(0));
+}
+
+TEST_F(LinearExprTest, FromSum) {
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *Y = F.signal("y", Sort::Int);
+  const Term *T = F.apply(
+      "+", Sort::Int, {F.apply("-", Sort::Int, {X, Y}), F.numeral(3)});
+  auto E = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->coefficients().at("x"), Rational(1));
+  EXPECT_EQ(E->coefficients().at("y"), Rational(-1));
+  EXPECT_EQ(E->constant(), Rational(3));
+}
+
+TEST_F(LinearExprTest, ScalarMultiplication) {
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *T = F.apply("*", Sort::Int, {F.numeral(4), X});
+  auto E = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->coefficients().at("x"), Rational(4));
+}
+
+TEST_F(LinearExprTest, NonlinearRejected) {
+  const Term *X = F.signal("x", Sort::Int);
+  EXPECT_FALSE(LinearExpr::fromTerm(F.apply("*", Sort::Int, {X, X})));
+}
+
+TEST_F(LinearExprTest, CancellationDropsVariables) {
+  const Term *X = F.signal("x", Sort::Int);
+  auto E = LinearExpr::fromTerm(F.apply("-", Sort::Int, {X, X}));
+  ASSERT_TRUE(E.has_value());
+  EXPECT_TRUE(E->isConstant());
+}
+
+TEST_F(LinearExprTest, PurifiesUninterpretedApplications) {
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *FX = F.apply("f", Sort::Int, {X});
+  const Term *T = F.apply("+", Sort::Int, {FX, F.numeral(1)});
+  auto E = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->coefficients().count("(f x)"), 1u);
+}
+
+TEST_F(LinearExprTest, OpaqueSignalRejected) {
+  EXPECT_FALSE(LinearExpr::fromTerm(F.signal("t", Sort::Opaque)));
+}
+
+TEST_F(LinearExprTest, FromComparison) {
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *Y = F.signal("y", Sort::Int);
+  const Term *Cmp = F.apply("<", Sort::Bool, {X, Y});
+  auto A = LinearAtom::fromComparison(Cmp, /*Negated=*/false);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->Rel, LinearRel::LT);
+  EXPECT_EQ(A->Expr.coefficients().at("x"), Rational(1));
+  EXPECT_EQ(A->Expr.coefficients().at("y"), Rational(-1));
+
+  auto N = LinearAtom::fromComparison(Cmp, /*Negated=*/true);
+  ASSERT_TRUE(N.has_value());
+  EXPECT_EQ(N->Rel, LinearRel::GE);
+}
+
+TEST_F(LinearExprTest, NegatedEqualityNeedsSplit) {
+  const Term *X = F.signal("x", Sort::Int);
+  const Term *Eq = F.apply("=", Sort::Bool, {X, F.numeral(0)});
+  EXPECT_FALSE(LinearAtom::fromComparison(Eq, /*Negated=*/true).has_value());
+  EXPECT_TRUE(LinearAtom::fromComparison(Eq, /*Negated=*/false).has_value());
+}
+
+TEST_F(LinearExprTest, NonComparisonRejected) {
+  const Term *X = F.signal("x", Sort::Int);
+  EXPECT_FALSE(LinearAtom::fromComparison(X, false).has_value());
+  const Term *Sum = F.apply("+", Sort::Int, {X, X});
+  EXPECT_FALSE(LinearAtom::fromComparison(Sum, false).has_value());
+}
+
+} // namespace

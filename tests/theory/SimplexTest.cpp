@@ -1,0 +1,159 @@
+//===- tests/theory/SimplexTest.cpp - Simplex solver tests ----------------===//
+
+#include "theory/Simplex.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+LinearExpr var(const std::string &Name) { return LinearExpr::variable(Name); }
+
+LinearExpr constant(int64_t C) { return LinearExpr(Rational(C)); }
+
+TEST(Simplex, TrivialSat) {
+  Simplex S;
+  // x <= 5.
+  EXPECT_TRUE(S.assertAtom({var("x") - constant(5), LinearRel::LE}, false));
+  EXPECT_TRUE(S.check());
+  EXPECT_LE(S.value("x"), DeltaRational(Rational(5)));
+}
+
+TEST(Simplex, ConflictingBounds) {
+  Simplex S;
+  EXPECT_TRUE(S.assertAtom({var("x") - constant(5), LinearRel::LE}, false));
+  // x >= 6 conflicts immediately.
+  EXPECT_FALSE(S.assertAtom({var("x") - constant(6), LinearRel::GE}, false));
+}
+
+TEST(Simplex, StrictVsWeakBoundary) {
+  // x >= 3 && x < 3 is unsat; x >= 3 && x <= 3 is sat.
+  {
+    Simplex S;
+    EXPECT_TRUE(S.assertAtom({var("x") - constant(3), LinearRel::GE}, false));
+    EXPECT_FALSE(S.assertAtom({var("x") - constant(3), LinearRel::LT}, false));
+  }
+  {
+    Simplex S;
+    EXPECT_TRUE(S.assertAtom({var("x") - constant(3), LinearRel::GE}, false));
+    EXPECT_TRUE(S.assertAtom({var("x") - constant(3), LinearRel::LE}, false));
+    EXPECT_TRUE(S.check());
+    EXPECT_EQ(S.value("x"), DeltaRational(Rational(3)));
+  }
+}
+
+TEST(Simplex, MutexParadoxUnsat) {
+  // The Sec. 4.2 example: x < y && y < x is unsatisfiable.
+  Simplex S;
+  EXPECT_TRUE(S.assertAtom({var("x") - var("y"), LinearRel::LT}, false));
+  S.assertAtom({var("y") - var("x"), LinearRel::LT}, false);
+  EXPECT_FALSE(S.check());
+}
+
+TEST(Simplex, ChainOfInequalities) {
+  // x < y && y < z && z < x is unsat (needs pivoting, not just bounds).
+  Simplex S;
+  S.assertAtom({var("x") - var("y"), LinearRel::LT}, false);
+  S.assertAtom({var("y") - var("z"), LinearRel::LT}, false);
+  S.assertAtom({var("z") - var("x"), LinearRel::LT}, false);
+  EXPECT_FALSE(S.check());
+}
+
+TEST(Simplex, SatWithPivoting) {
+  // x + y <= 4 && x - y >= 2 && y >= 0 is sat (e.g. x=3, y=0 or x=4,y=0).
+  Simplex S;
+  S.assertAtom({var("x") + var("y") - constant(4), LinearRel::LE}, false);
+  S.assertAtom({var("x") - var("y") - constant(2), LinearRel::GE}, false);
+  S.assertAtom({var("y"), LinearRel::GE}, false);
+  ASSERT_TRUE(S.check());
+  DeltaRational X = S.value("x");
+  DeltaRational Y = S.value("y");
+  EXPECT_LE(X + Y, DeltaRational(Rational(4)));
+  EXPECT_GE(X - Y, DeltaRational(Rational(2)));
+  EXPECT_GE(Y, DeltaRational(Rational(0)));
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // x + y = 10 && x - y = 4 -> x = 7, y = 3.
+  Simplex S;
+  S.assertAtom({var("x") + var("y") - constant(10), LinearRel::EQ}, false);
+  S.assertAtom({var("x") - var("y") - constant(4), LinearRel::EQ}, false);
+  ASSERT_TRUE(S.check());
+  EXPECT_EQ(S.value("x"), DeltaRational(Rational(7)));
+  EXPECT_EQ(S.value("y"), DeltaRational(Rational(3)));
+}
+
+TEST(Simplex, GroundAtoms) {
+  Simplex S;
+  EXPECT_TRUE(S.assertAtom({constant(-1), LinearRel::LE}, false));
+  EXPECT_FALSE(S.assertAtom({constant(1), LinearRel::LE}, false));
+  EXPECT_TRUE(S.assertAtom({constant(0), LinearRel::EQ}, false));
+  EXPECT_FALSE(S.assertAtom({constant(0), LinearRel::LT}, false));
+}
+
+TEST(Simplex, FractionalIntDetection) {
+  Simplex S;
+  S.getVariable("x", /*IsInt=*/true);
+  // 2x = 1 forces x = 1/2.
+  S.assertAtom({var("x").scaled(Rational(2)) - constant(1), LinearRel::EQ},
+               true);
+  ASSERT_TRUE(S.check());
+  auto Fractional = S.fractionalIntVariables();
+  ASSERT_EQ(Fractional.size(), 1u);
+  EXPECT_EQ(Fractional[0], "x");
+}
+
+TEST(Simplex, ConcreteModelRespectsStrictBounds) {
+  Simplex S;
+  // 0 < x < 1 over the reals.
+  S.assertAtom({var("x"), LinearRel::GT}, false);
+  S.assertAtom({var("x") - constant(1), LinearRel::LT}, false);
+  ASSERT_TRUE(S.check());
+  auto Model = S.concreteModel();
+  ASSERT_TRUE(Model.count("x"));
+  EXPECT_GT(Model["x"], Rational(0));
+  EXPECT_LT(Model["x"], Rational(1));
+}
+
+TEST(Simplex, VariableBoundBranching) {
+  Simplex S;
+  S.assertAtom({var("x") - constant(10), LinearRel::LE}, false);
+  ASSERT_TRUE(S.assertVariableBound("x", /*Upper=*/false,
+                                    DeltaRational(Rational(4))));
+  ASSERT_TRUE(S.check());
+  EXPECT_GE(S.value("x"), DeltaRational(Rational(4)));
+  EXPECT_FALSE(S.assertVariableBound("x", /*Upper=*/true,
+                                     DeltaRational(Rational(3))));
+}
+
+TEST(Simplex, CopyIndependence) {
+  Simplex S;
+  S.assertAtom({var("x") - constant(5), LinearRel::LE}, false);
+  Simplex Copy = S;
+  EXPECT_FALSE(Copy.assertAtom({var("x") - constant(6), LinearRel::GE},
+                               false));
+  // Original is unaffected by the copy's conflict.
+  EXPECT_TRUE(S.assertAtom({var("x") - constant(5), LinearRel::GE}, false));
+  EXPECT_TRUE(S.check());
+}
+
+TEST(Simplex, LargerSystem) {
+  // A small flow-style system that exercises repeated pivoting.
+  Simplex S;
+  S.assertAtom({var("a") + var("b") + var("c") - constant(10), LinearRel::EQ},
+               false);
+  S.assertAtom({var("a") - var("b"), LinearRel::GE}, false);
+  S.assertAtom({var("b") - var("c"), LinearRel::GE}, false);
+  S.assertAtom({var("c") - constant(2), LinearRel::GE}, false);
+  ASSERT_TRUE(S.check());
+  DeltaRational A = S.value("a");
+  DeltaRational B = S.value("b");
+  DeltaRational C = S.value("c");
+  EXPECT_EQ(A + B + C, DeltaRational(Rational(10)));
+  EXPECT_GE(A, B);
+  EXPECT_GE(B, C);
+  EXPECT_GE(C, DeltaRational(Rational(2)));
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/tools/CliTest.cpp - temos CLI end-to-end tests ---------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace {
+
+/// Runs the CLI with \p Args; returns (exit code, stdout).
+std::pair<int, std::string> runCli(const std::string &Args) {
+  std::string Command = std::string(TEMOS_CLI_PATH) + " " + Args +
+                        " 2>/dev/null";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return {-1, ""};
+  std::string Out;
+  char Buffer[512];
+  while (fgets(Buffer, sizeof(Buffer), Pipe))
+    Out += Buffer;
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Out};
+}
+
+std::string writeSpec(const std::string &Name, const std::string &Body) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  std::ofstream Out(Path);
+  Out << Body;
+  return Path;
+}
+
+const char *CounterSpec = R"(
+#LIA#
+spec Counter
+cells { int x = 0; }
+always guarantee {
+  [x <- x + 1] || [x <- x - 1];
+  x = 0 -> F (x = 2);
+}
+)";
+
+TEST(Cli, ListShowsSixteenBenchmarks) {
+  auto [Code, Out] = runCli("--list");
+  EXPECT_EQ(Code, 0);
+  EXPECT_EQ(temos::split(temos::trim(Out), '\n').size(), 16u);
+  EXPECT_NE(Out.find("CFS"), std::string::npos);
+  EXPECT_NE(Out.find("Vibrato"), std::string::npos);
+}
+
+TEST(Cli, SynthesizesSpecFile) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli(Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("Counter: realizable"), std::string::npos);
+  EXPECT_NE(Out.find("|psi|=3"), std::string::npos);
+}
+
+TEST(Cli, EmitsJavaScript) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--js " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("function createController"), std::string::npos);
+}
+
+TEST(Cli, PrintsAssumptions) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--assumptions " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("X X (x = 2)"), std::string::npos);
+}
+
+TEST(Cli, SimulatesSteps) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--simulate 3 " + Path);
+  EXPECT_EQ(Code, 0);
+  auto Lines = temos::split(temos::trim(Out), '\n');
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_NE(Lines[0].find("step 0: x="), std::string::npos);
+}
+
+TEST(Cli, UnknownBenchmarkFails) {
+  auto [Code, Out] = runCli("--benchmark NoSuchThing");
+  EXPECT_NE(Code, 0);
+  (void)Out;
+}
+
+TEST(Cli, MissingFileFails) {
+  auto [Code, Out] = runCli("/nonexistent/spec.tslmt");
+  EXPECT_NE(Code, 0);
+  (void)Out;
+}
+
+TEST(Cli, ParseErrorReportsLine) {
+  std::string Path = writeSpec("cli_bad.tslmt", "inputs { zzz p; }");
+  auto [Code, Out] = runCli(Path);
+  EXPECT_NE(Code, 0);
+  (void)Out;
+}
+
+TEST(Cli, UnrealizableSpecExitsNonZero) {
+  std::string Path = writeSpec("cli_unreal.tslmt", R"(
+#LIA#
+spec Hopeless
+inputs { int a; }
+cells { int x = 0; }
+always guarantee {
+  [x <- x + 1] || [x <- x];
+  a < x;
+}
+)");
+  auto [Code, Out] = runCli(Path);
+  EXPECT_NE(Code, 0);
+  (void)Out;
+}
+
+} // namespace

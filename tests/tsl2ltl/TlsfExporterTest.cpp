@@ -1,0 +1,114 @@
+//===- tests/tsl2ltl/TlsfExporterTest.cpp - TLSF export tests -------------===//
+
+#include "tsl2ltl/TlsfExporter.h"
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+class TlsfExporterTest : public ::testing::Test {
+protected:
+  Specification parse(const std::string &Source) {
+    ParseError Err;
+    auto Spec = parseSpecification(Source, Ctx, Err);
+    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    return *Spec;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(TlsfExporterTest, BasicStructure) {
+  Specification Spec = parse(R"(
+    #LIA#
+    spec Mutex
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee {
+      G (x < y -> [m <- x]);
+      G (y < x -> [m <- y]);
+    }
+  )");
+  Alphabet AB = Alphabet::build(Spec, Ctx);
+  std::string Tlsf = exportTlsf(Spec, AB, Ctx);
+  EXPECT_NE(Tlsf.find("INFO {"), std::string::npos);
+  EXPECT_NE(Tlsf.find("TITLE:       \"Mutex\""), std::string::npos);
+  EXPECT_NE(Tlsf.find("SEMANTICS:   Mealy"), std::string::npos);
+  EXPECT_NE(Tlsf.find("INPUTS {"), std::string::npos);
+  EXPECT_NE(Tlsf.find("OUTPUTS {"), std::string::npos);
+  EXPECT_NE(Tlsf.find("GUARANTEES {"), std::string::npos);
+}
+
+TEST_F(TlsfExporterTest, PropositionsPerAtom) {
+  Specification Spec = parse(R"(
+    #LIA#
+    inputs { int x, y; }
+    cells { int m = 0; }
+    always guarantee { G (x < y -> [m <- x]); }
+  )");
+  Alphabet AB = Alphabet::build(Spec, Ctx);
+  std::string Tlsf = exportTlsf(Spec, AB, Ctx);
+  // One input proposition for the predicate, one output per update
+  // option (update + implicit self).
+  EXPECT_NE(Tlsf.find(tlsfInputName(AB, 0)), std::string::npos);
+  ASSERT_EQ(AB.cells().size(), 1u);
+  for (size_t O = 0; O < AB.cells()[0].Options.size(); ++O)
+    EXPECT_NE(Tlsf.find(tlsfOutputName(AB, 0, O)), std::string::npos);
+}
+
+TEST_F(TlsfExporterTest, ExactlyOneConstraintsSpelledOut) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee { [x <- x + 1] || [x <- x - 1]; }
+  )");
+  Alphabet AB = Alphabet::build(Spec, Ctx);
+  std::string Tlsf = exportTlsf(Spec, AB, Ctx);
+  // Mutual exclusion between the three options (3 pairs) plus
+  // at-least-one.
+  EXPECT_NE(Tlsf.find("G (u_x_0 || u_x_1 || u_x_2)"), std::string::npos);
+  EXPECT_NE(Tlsf.find("G !(u_x_0 && u_x_1)"), std::string::npos);
+  EXPECT_NE(Tlsf.find("G !(u_x_1 && u_x_2)"), std::string::npos);
+}
+
+TEST_F(TlsfExporterTest, TemporalOperatorsRendered) {
+  Specification Spec = parse(R"(
+    #LIA#
+    inputs { bool p; }
+    cells { int x = 0; }
+    always guarantee {
+      p -> F [x <- x + 1];
+      p U [x <- x];
+    }
+  )");
+  Alphabet AB = Alphabet::build(Spec, Ctx);
+  std::string Tlsf = exportTlsf(Spec, AB, Ctx);
+  EXPECT_NE(Tlsf.find("(F "), std::string::npos);
+  EXPECT_NE(Tlsf.find(" U "), std::string::npos);
+}
+
+TEST_F(TlsfExporterTest, GeneratedAssumptionsIncluded) {
+  Specification Spec = parse(R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )");
+  ParseError Err;
+  const Formula *Psi = parseFormula(
+      "G (x = 0 && [x <- x + 1] -> X (x = 1))", Spec, Ctx, Err);
+  ASSERT_NE(Psi, nullptr) << Err.str();
+  Alphabet AB = Alphabet::build(Spec, Ctx, {Psi});
+  std::string Tlsf = exportTlsf(Spec, AB, Ctx, {Psi});
+  EXPECT_NE(Tlsf.find("ASSUMPTIONS {"), std::string::npos);
+  // The psi formula mentions the predicate propositions.
+  EXPECT_NE(Tlsf.find("(X "), std::string::npos);
+}
+
+} // namespace
