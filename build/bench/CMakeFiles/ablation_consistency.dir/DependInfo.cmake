@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_consistency.cpp" "bench/CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o" "gcc" "bench/CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmarks/CMakeFiles/temos_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/temos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sygus/CMakeFiles/temos_sygus.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/temos_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/temos_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/temos_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsl2ltl/CMakeFiles/temos_tsl2ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/temos_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eager_lazy.dir/ablation_eager_lazy.cpp.o"
+  "CMakeFiles/ablation_eager_lazy.dir/ablation_eager_lazy.cpp.o.d"
+  "ablation_eager_lazy"
+  "ablation_eager_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

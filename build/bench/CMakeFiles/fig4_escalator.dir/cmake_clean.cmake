@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_escalator.dir/fig4_escalator.cpp.o"
+  "CMakeFiles/fig4_escalator.dir/fig4_escalator.cpp.o.d"
+  "fig4_escalator"
+  "fig4_escalator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_escalator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_music.dir/fig4_music.cpp.o"
+  "CMakeFiles/fig4_music.dir/fig4_music.cpp.o.d"
+  "fig4_music"
+  "fig4_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

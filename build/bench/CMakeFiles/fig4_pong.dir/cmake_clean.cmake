@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pong.dir/fig4_pong.cpp.o"
+  "CMakeFiles/fig4_pong.dir/fig4_pong.cpp.o.d"
+  "fig4_pong"
+  "fig4_pong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

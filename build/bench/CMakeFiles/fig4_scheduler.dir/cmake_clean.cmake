@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scheduler.dir/fig4_scheduler.cpp.o"
+  "CMakeFiles/fig4_scheduler.dir/fig4_scheduler.cpp.o.d"
+  "fig4_scheduler"
+  "fig4_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_scheduler.dir/cfs_scheduler.cpp.o"
+  "CMakeFiles/cfs_scheduler.dir/cfs_scheduler.cpp.o.d"
+  "cfs_scheduler"
+  "cfs_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

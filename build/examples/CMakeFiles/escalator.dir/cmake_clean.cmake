@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escalator.dir/escalator.cpp.o"
+  "CMakeFiles/escalator.dir/escalator.cpp.o.d"
+  "escalator"
+  "escalator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escalator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_synthesizer.dir/music_synthesizer.cpp.o"
+  "CMakeFiles/music_synthesizer.dir/music_synthesizer.cpp.o.d"
+  "music_synthesizer"
+  "music_synthesizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pong_game.dir/pong_game.cpp.o"
+  "CMakeFiles/pong_game.dir/pong_game.cpp.o.d"
+  "pong_game"
+  "pong_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pong_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

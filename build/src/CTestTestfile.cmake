@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("logic")
+subdirs("theory")
+subdirs("sygus")
+subdirs("tsl2ltl")
+subdirs("automata")
+subdirs("game")
+subdirs("codegen")
+subdirs("core")
+subdirs("benchmarks")
+subdirs("tools")

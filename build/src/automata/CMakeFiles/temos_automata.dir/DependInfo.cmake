@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/Nba.cpp" "src/automata/CMakeFiles/temos_automata.dir/Nba.cpp.o" "gcc" "src/automata/CMakeFiles/temos_automata.dir/Nba.cpp.o.d"
+  "/root/repo/src/automata/Tableau.cpp" "src/automata/CMakeFiles/temos_automata.dir/Tableau.cpp.o" "gcc" "src/automata/CMakeFiles/temos_automata.dir/Tableau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsl2ltl/CMakeFiles/temos_tsl2ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

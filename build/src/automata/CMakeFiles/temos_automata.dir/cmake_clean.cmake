@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_automata.dir/Nba.cpp.o"
+  "CMakeFiles/temos_automata.dir/Nba.cpp.o.d"
+  "CMakeFiles/temos_automata.dir/Tableau.cpp.o"
+  "CMakeFiles/temos_automata.dir/Tableau.cpp.o.d"
+  "libtemos_automata.a"
+  "libtemos_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

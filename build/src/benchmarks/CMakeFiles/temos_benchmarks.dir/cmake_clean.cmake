@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_benchmarks.dir/Benchmarks.cpp.o"
+  "CMakeFiles/temos_benchmarks.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/temos_benchmarks.dir/Runner.cpp.o"
+  "CMakeFiles/temos_benchmarks.dir/Runner.cpp.o.d"
+  "libtemos_benchmarks.a"
+  "libtemos_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_codegen.dir/CodeEmitter.cpp.o"
+  "CMakeFiles/temos_codegen.dir/CodeEmitter.cpp.o.d"
+  "CMakeFiles/temos_codegen.dir/Interpreter.cpp.o"
+  "CMakeFiles/temos_codegen.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/temos_codegen.dir/TraceChecker.cpp.o"
+  "CMakeFiles/temos_codegen.dir/TraceChecker.cpp.o.d"
+  "libtemos_codegen.a"
+  "libtemos_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

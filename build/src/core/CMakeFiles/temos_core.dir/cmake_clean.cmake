@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_core.dir/AssumptionCore.cpp.o"
+  "CMakeFiles/temos_core.dir/AssumptionCore.cpp.o.d"
+  "CMakeFiles/temos_core.dir/AssumptionGenerator.cpp.o"
+  "CMakeFiles/temos_core.dir/AssumptionGenerator.cpp.o.d"
+  "CMakeFiles/temos_core.dir/ConsistencyChecker.cpp.o"
+  "CMakeFiles/temos_core.dir/ConsistencyChecker.cpp.o.d"
+  "CMakeFiles/temos_core.dir/Decomposition.cpp.o"
+  "CMakeFiles/temos_core.dir/Decomposition.cpp.o.d"
+  "CMakeFiles/temos_core.dir/Synthesizer.cpp.o"
+  "CMakeFiles/temos_core.dir/Synthesizer.cpp.o.d"
+  "libtemos_core.a"
+  "libtemos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

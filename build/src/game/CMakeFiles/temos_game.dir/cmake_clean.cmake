@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_game.dir/BoundedSynthesis.cpp.o"
+  "CMakeFiles/temos_game.dir/BoundedSynthesis.cpp.o.d"
+  "libtemos_game.a"
+  "libtemos_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

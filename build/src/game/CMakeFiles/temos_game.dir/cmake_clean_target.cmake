@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtemos_game.a"
+)

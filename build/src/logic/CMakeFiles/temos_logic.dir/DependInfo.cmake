@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/Formula.cpp" "src/logic/CMakeFiles/temos_logic.dir/Formula.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Formula.cpp.o.d"
+  "/root/repo/src/logic/Parser.cpp" "src/logic/CMakeFiles/temos_logic.dir/Parser.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Parser.cpp.o.d"
+  "/root/repo/src/logic/Simplify.cpp" "src/logic/CMakeFiles/temos_logic.dir/Simplify.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Simplify.cpp.o.d"
+  "/root/repo/src/logic/Specification.cpp" "src/logic/CMakeFiles/temos_logic.dir/Specification.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Specification.cpp.o.d"
+  "/root/repo/src/logic/Term.cpp" "src/logic/CMakeFiles/temos_logic.dir/Term.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Term.cpp.o.d"
+  "/root/repo/src/logic/Traversal.cpp" "src/logic/CMakeFiles/temos_logic.dir/Traversal.cpp.o" "gcc" "src/logic/CMakeFiles/temos_logic.dir/Traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_logic.dir/Formula.cpp.o"
+  "CMakeFiles/temos_logic.dir/Formula.cpp.o.d"
+  "CMakeFiles/temos_logic.dir/Parser.cpp.o"
+  "CMakeFiles/temos_logic.dir/Parser.cpp.o.d"
+  "CMakeFiles/temos_logic.dir/Simplify.cpp.o"
+  "CMakeFiles/temos_logic.dir/Simplify.cpp.o.d"
+  "CMakeFiles/temos_logic.dir/Specification.cpp.o"
+  "CMakeFiles/temos_logic.dir/Specification.cpp.o.d"
+  "CMakeFiles/temos_logic.dir/Term.cpp.o"
+  "CMakeFiles/temos_logic.dir/Term.cpp.o.d"
+  "CMakeFiles/temos_logic.dir/Traversal.cpp.o"
+  "CMakeFiles/temos_logic.dir/Traversal.cpp.o.d"
+  "libtemos_logic.a"
+  "libtemos_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_support.dir/Rational.cpp.o"
+  "CMakeFiles/temos_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/temos_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/temos_support.dir/StringUtils.cpp.o.d"
+  "libtemos_support.a"
+  "libtemos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

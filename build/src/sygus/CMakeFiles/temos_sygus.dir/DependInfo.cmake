@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sygus/Grammar.cpp" "src/sygus/CMakeFiles/temos_sygus.dir/Grammar.cpp.o" "gcc" "src/sygus/CMakeFiles/temos_sygus.dir/Grammar.cpp.o.d"
+  "/root/repo/src/sygus/Program.cpp" "src/sygus/CMakeFiles/temos_sygus.dir/Program.cpp.o" "gcc" "src/sygus/CMakeFiles/temos_sygus.dir/Program.cpp.o.d"
+  "/root/repo/src/sygus/SygusSolver.cpp" "src/sygus/CMakeFiles/temos_sygus.dir/SygusSolver.cpp.o" "gcc" "src/sygus/CMakeFiles/temos_sygus.dir/SygusSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/temos_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

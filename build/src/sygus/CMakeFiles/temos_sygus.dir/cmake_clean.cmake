@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_sygus.dir/Grammar.cpp.o"
+  "CMakeFiles/temos_sygus.dir/Grammar.cpp.o.d"
+  "CMakeFiles/temos_sygus.dir/Program.cpp.o"
+  "CMakeFiles/temos_sygus.dir/Program.cpp.o.d"
+  "CMakeFiles/temos_sygus.dir/SygusSolver.cpp.o"
+  "CMakeFiles/temos_sygus.dir/SygusSolver.cpp.o.d"
+  "libtemos_sygus.a"
+  "libtemos_sygus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_sygus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

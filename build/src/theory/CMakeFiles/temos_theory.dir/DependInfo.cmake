@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/CongruenceClosure.cpp" "src/theory/CMakeFiles/temos_theory.dir/CongruenceClosure.cpp.o" "gcc" "src/theory/CMakeFiles/temos_theory.dir/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/theory/Evaluator.cpp" "src/theory/CMakeFiles/temos_theory.dir/Evaluator.cpp.o" "gcc" "src/theory/CMakeFiles/temos_theory.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/theory/LinearExpr.cpp" "src/theory/CMakeFiles/temos_theory.dir/LinearExpr.cpp.o" "gcc" "src/theory/CMakeFiles/temos_theory.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/theory/Simplex.cpp" "src/theory/CMakeFiles/temos_theory.dir/Simplex.cpp.o" "gcc" "src/theory/CMakeFiles/temos_theory.dir/Simplex.cpp.o.d"
+  "/root/repo/src/theory/SmtSolver.cpp" "src/theory/CMakeFiles/temos_theory.dir/SmtSolver.cpp.o" "gcc" "src/theory/CMakeFiles/temos_theory.dir/SmtSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_theory.dir/CongruenceClosure.cpp.o"
+  "CMakeFiles/temos_theory.dir/CongruenceClosure.cpp.o.d"
+  "CMakeFiles/temos_theory.dir/Evaluator.cpp.o"
+  "CMakeFiles/temos_theory.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/temos_theory.dir/LinearExpr.cpp.o"
+  "CMakeFiles/temos_theory.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/temos_theory.dir/Simplex.cpp.o"
+  "CMakeFiles/temos_theory.dir/Simplex.cpp.o.d"
+  "CMakeFiles/temos_theory.dir/SmtSolver.cpp.o"
+  "CMakeFiles/temos_theory.dir/SmtSolver.cpp.o.d"
+  "libtemos_theory.a"
+  "libtemos_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

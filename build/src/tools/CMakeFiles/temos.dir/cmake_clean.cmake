@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos.dir/temos.cpp.o"
+  "CMakeFiles/temos.dir/temos.cpp.o.d"
+  "temos"
+  "temos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

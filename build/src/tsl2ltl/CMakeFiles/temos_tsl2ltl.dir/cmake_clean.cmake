@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temos_tsl2ltl.dir/Alphabet.cpp.o"
+  "CMakeFiles/temos_tsl2ltl.dir/Alphabet.cpp.o.d"
+  "CMakeFiles/temos_tsl2ltl.dir/TlsfExporter.cpp.o"
+  "CMakeFiles/temos_tsl2ltl.dir/TlsfExporter.cpp.o.d"
+  "libtemos_tsl2ltl.a"
+  "libtemos_tsl2ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temos_tsl2ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

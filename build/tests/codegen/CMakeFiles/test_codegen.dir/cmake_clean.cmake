@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/CodeEmitterTest.cpp.o"
+  "CMakeFiles/test_codegen.dir/CodeEmitterTest.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/CppDifferentialTest.cpp.o"
+  "CMakeFiles/test_codegen.dir/CppDifferentialTest.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/test_codegen.dir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/JsDifferentialTest.cpp.o"
+  "CMakeFiles/test_codegen.dir/JsDifferentialTest.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/TraceCheckerTest.cpp.o"
+  "CMakeFiles/test_codegen.dir/TraceCheckerTest.cpp.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+  "test_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/AssumptionCoreTest.cpp.o"
+  "CMakeFiles/test_core.dir/AssumptionCoreTest.cpp.o.d"
+  "CMakeFiles/test_core.dir/AssumptionGeneratorTest.cpp.o"
+  "CMakeFiles/test_core.dir/AssumptionGeneratorTest.cpp.o.d"
+  "CMakeFiles/test_core.dir/ConsistencyCheckerTest.cpp.o"
+  "CMakeFiles/test_core.dir/ConsistencyCheckerTest.cpp.o.d"
+  "CMakeFiles/test_core.dir/DecompositionTest.cpp.o"
+  "CMakeFiles/test_core.dir/DecompositionTest.cpp.o.d"
+  "CMakeFiles/test_core.dir/GoldenPipelineTest.cpp.o"
+  "CMakeFiles/test_core.dir/GoldenPipelineTest.cpp.o.d"
+  "CMakeFiles/test_core.dir/SynthesizerTest.cpp.o"
+  "CMakeFiles/test_core.dir/SynthesizerTest.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logic/FormulaTest.cpp" "tests/logic/CMakeFiles/test_logic.dir/FormulaTest.cpp.o" "gcc" "tests/logic/CMakeFiles/test_logic.dir/FormulaTest.cpp.o.d"
+  "/root/repo/tests/logic/ParserTest.cpp" "tests/logic/CMakeFiles/test_logic.dir/ParserTest.cpp.o" "gcc" "tests/logic/CMakeFiles/test_logic.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/logic/SimplifyTest.cpp" "tests/logic/CMakeFiles/test_logic.dir/SimplifyTest.cpp.o" "gcc" "tests/logic/CMakeFiles/test_logic.dir/SimplifyTest.cpp.o.d"
+  "/root/repo/tests/logic/TermTest.cpp" "tests/logic/CMakeFiles/test_logic.dir/TermTest.cpp.o" "gcc" "tests/logic/CMakeFiles/test_logic.dir/TermTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/FormulaTest.cpp.o"
+  "CMakeFiles/test_logic.dir/FormulaTest.cpp.o.d"
+  "CMakeFiles/test_logic.dir/ParserTest.cpp.o"
+  "CMakeFiles/test_logic.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/test_logic.dir/SimplifyTest.cpp.o"
+  "CMakeFiles/test_logic.dir/SimplifyTest.cpp.o.d"
+  "CMakeFiles/test_logic.dir/TermTest.cpp.o"
+  "CMakeFiles/test_logic.dir/TermTest.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sygus/GrammarTest.cpp" "tests/sygus/CMakeFiles/test_sygus.dir/GrammarTest.cpp.o" "gcc" "tests/sygus/CMakeFiles/test_sygus.dir/GrammarTest.cpp.o.d"
+  "/root/repo/tests/sygus/ProgramTest.cpp" "tests/sygus/CMakeFiles/test_sygus.dir/ProgramTest.cpp.o" "gcc" "tests/sygus/CMakeFiles/test_sygus.dir/ProgramTest.cpp.o.d"
+  "/root/repo/tests/sygus/SygusSolverTest.cpp" "tests/sygus/CMakeFiles/test_sygus.dir/SygusSolverTest.cpp.o" "gcc" "tests/sygus/CMakeFiles/test_sygus.dir/SygusSolverTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sygus/CMakeFiles/temos_sygus.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/temos_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

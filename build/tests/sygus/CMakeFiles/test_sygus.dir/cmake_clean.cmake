@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sygus.dir/GrammarTest.cpp.o"
+  "CMakeFiles/test_sygus.dir/GrammarTest.cpp.o.d"
+  "CMakeFiles/test_sygus.dir/ProgramTest.cpp.o"
+  "CMakeFiles/test_sygus.dir/ProgramTest.cpp.o.d"
+  "CMakeFiles/test_sygus.dir/SygusSolverTest.cpp.o"
+  "CMakeFiles/test_sygus.dir/SygusSolverTest.cpp.o.d"
+  "test_sygus"
+  "test_sygus.pdb"
+  "test_sygus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sygus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/theory/CongruenceClosureTest.cpp" "tests/theory/CMakeFiles/test_theory.dir/CongruenceClosureTest.cpp.o" "gcc" "tests/theory/CMakeFiles/test_theory.dir/CongruenceClosureTest.cpp.o.d"
+  "/root/repo/tests/theory/EvaluatorTest.cpp" "tests/theory/CMakeFiles/test_theory.dir/EvaluatorTest.cpp.o" "gcc" "tests/theory/CMakeFiles/test_theory.dir/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/theory/LinearExprTest.cpp" "tests/theory/CMakeFiles/test_theory.dir/LinearExprTest.cpp.o" "gcc" "tests/theory/CMakeFiles/test_theory.dir/LinearExprTest.cpp.o.d"
+  "/root/repo/tests/theory/SimplexTest.cpp" "tests/theory/CMakeFiles/test_theory.dir/SimplexTest.cpp.o" "gcc" "tests/theory/CMakeFiles/test_theory.dir/SimplexTest.cpp.o.d"
+  "/root/repo/tests/theory/SmtSolverTest.cpp" "tests/theory/CMakeFiles/test_theory.dir/SmtSolverTest.cpp.o" "gcc" "tests/theory/CMakeFiles/test_theory.dir/SmtSolverTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/temos_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/temos_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/temos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theory.dir/CongruenceClosureTest.cpp.o"
+  "CMakeFiles/test_theory.dir/CongruenceClosureTest.cpp.o.d"
+  "CMakeFiles/test_theory.dir/EvaluatorTest.cpp.o"
+  "CMakeFiles/test_theory.dir/EvaluatorTest.cpp.o.d"
+  "CMakeFiles/test_theory.dir/LinearExprTest.cpp.o"
+  "CMakeFiles/test_theory.dir/LinearExprTest.cpp.o.d"
+  "CMakeFiles/test_theory.dir/SimplexTest.cpp.o"
+  "CMakeFiles/test_theory.dir/SimplexTest.cpp.o.d"
+  "CMakeFiles/test_theory.dir/SmtSolverTest.cpp.o"
+  "CMakeFiles/test_theory.dir/SmtSolverTest.cpp.o.d"
+  "test_theory"
+  "test_theory.pdb"
+  "test_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsl2ltl.dir/AlphabetTest.cpp.o"
+  "CMakeFiles/test_tsl2ltl.dir/AlphabetTest.cpp.o.d"
+  "CMakeFiles/test_tsl2ltl.dir/TlsfExporterTest.cpp.o"
+  "CMakeFiles/test_tsl2ltl.dir/TlsfExporterTest.cpp.o.d"
+  "test_tsl2ltl"
+  "test_tsl2ltl.pdb"
+  "test_tsl2ltl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsl2ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tsl2ltl
+# Build directory: /root/repo/build/tests/tsl2ltl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tsl2ltl/test_tsl2ltl[1]_include.cmake")
