@@ -61,12 +61,11 @@ void BM_TableauResponseChain(benchmark::State &State) {
   // G(p -> F q) under increasing conjunction width.
   const int N = static_cast<int>(State.range(0));
   Context Ctx;
-  ParseError Err;
   std::string Decl = "inputs { bool ";
   for (int I = 0; I < N; ++I)
     Decl += (I ? ", p" : "p") + std::to_string(I);
   Decl += "; } cells { int x = 0; }";
-  auto Spec = parseSpecification(Decl, Ctx, Err);
+  auto Spec = parseSpecification(Decl, Ctx);
   std::string Source;
   for (int I = 0; I < N; ++I) {
     if (I)
@@ -74,13 +73,12 @@ void BM_TableauResponseChain(benchmark::State &State) {
     Source += "G (p" + std::to_string(I) + " -> F (! p" +
               std::to_string(I) + "))";
   }
-  const Formula *F = parseFormula(Source, *Spec, Ctx, Err);
+  const Formula *F = *parseFormula(Source, *Spec, Ctx);
   Alphabet AB = Alphabet::build(*Spec, Ctx, {F});
   for (auto _ : State) {
     Context Local;
-    ParseError E2;
-    auto S2 = parseSpecification(Decl, Local, E2);
-    const Formula *F2 = parseFormula(Source, *S2, Local, E2);
+    auto S2 = parseSpecification(Decl, Local);
+    const Formula *F2 = *parseFormula(Source, *S2, Local);
     Alphabet AB2 = Alphabet::build(*S2, Local, {F2});
     TableauStats Stats;
     Nba A = buildNba(Local.Formulas.notF(F2), Local, AB2, &Stats);

@@ -35,10 +35,9 @@ int main() {
   )";
 
   Context Ctx;
-  ParseError Err;
-  auto Spec = parseSpecification(Source, Ctx, Err);
+  auto Spec = parseSpecification(Source, Ctx);
   if (!Spec) {
-    std::fprintf(stderr, "parse error: %s\n", Err.str().c_str());
+    std::fprintf(stderr, "parse error: %s\n", Spec.error().str().c_str());
     return 1;
   }
 

@@ -16,8 +16,7 @@ BenchmarkRun temos::runBenchmark(const BenchmarkSpec &B,
   Run.Row.Family = B.Family;
   Run.Row.Name = B.Name;
 
-  ParseError Err;
-  auto Spec = parseSpecification(B.Source, *Run.Ctx, Err);
+  auto Spec = parseSpecification(B.Source, *Run.Ctx);
   if (!Spec)
     return Run;
   Run.Spec = *Spec;

@@ -46,10 +46,20 @@ struct GeneratedAssumption {
 };
 
 /// Generates TSL assumptions from obligations via SyGuS.
+///
+/// Construction is cheap (no per-spec precomputation), so the parallel
+/// pipeline builds one generator per pool worker: generators share the
+/// Context (whose factories are internally synchronized) but nothing
+/// else, and obligations are independent, so concurrent generate()
+/// calls on distinct instances are safe.
 class AssumptionGenerator {
 public:
   AssumptionGenerator(const Specification &Spec, Context &Ctx)
       : Spec(Spec), Ctx(Ctx), Solver(Ctx, Spec.Th) {}
+
+  /// Routes the inner SyGuS verifier's verdict-only SMT checks through
+  /// \p Service (shared query cache across workers and runs).
+  void setService(SolverService *S) { Solver.setService(S); }
 
   struct Options {
     /// Sequential search depth for reachability obligations before

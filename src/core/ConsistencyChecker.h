@@ -13,6 +13,14 @@
 /// combinations (if {a,b} is unsat, {a,b,c} adds nothing) -- the
 /// ablation bench compares the two.
 ///
+/// The subset checks are independent SMT queries, so when a
+/// SolverService with workers is supplied they are fanned out across
+/// its pool: workers publish unsat cores to a shared UnsatCoreStore and
+/// skip supersets opportunistically, and a deterministic post-filter
+/// replays the serial acceptance order over the collected verdicts.
+/// The emitted assumption list is therefore byte-identical for every
+/// thread count (see docs/ARCHITECTURE.md for the argument).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TEMOS_CORE_CONSISTENCYCHECKER_H
@@ -20,6 +28,7 @@
 
 #include "logic/Specification.h"
 #include "theory/SmtSolver.h"
+#include "theory/SolverService.h"
 
 #include <vector>
 
@@ -40,14 +49,21 @@ struct ConsistencyOptions {
 struct ConsistencyResult {
   /// G !(...) assumptions, one per unsatisfiable combination.
   std::vector<const Formula *> Assumptions;
-  /// Number of SMT satisfiability queries issued.
+  /// Number of SMT satisfiability queries issued (including queries
+  /// answered by the service's cache). In minimal-core mode with
+  /// workers the count can vary with scheduling -- opportunistic
+  /// pruning races -- while the assumption list never does.
   size_t SolverQueries = 0;
 };
 
 /// Runs consistency checking over the predicate literals of \p Spec.
+/// With a null \p Service (or a single-threaded one) the checks run
+/// serially on the calling thread; a service with workers fans them out
+/// across its pool and serves repeats from its query cache.
 ConsistencyResult checkConsistency(const std::vector<const Term *> &Predicates,
                                    Theory Th, Context &Ctx,
-                                   const ConsistencyOptions &Options = {});
+                                   const ConsistencyOptions &Options = {},
+                                   SolverService *Service = nullptr);
 
 } // namespace temos
 

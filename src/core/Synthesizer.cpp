@@ -6,8 +6,30 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <mutex>
+#include <numeric>
 
 using namespace temos;
+
+std::string PipelineOptions::validate() const {
+  if (Parallelism.NumThreads == 0)
+    return "Parallelism.NumThreads must be at least 1 (0 would leave the "
+           "solver pool with no thread to run queries)";
+  if (MaxLoopAssumptions > MaxSygusAssumptions)
+    return "MaxLoopAssumptions (" + std::to_string(MaxLoopAssumptions) +
+           ") exceeds MaxSygusAssumptions (" +
+           std::to_string(MaxSygusAssumptions) +
+           "): loop assumptions count against the SyGuS cap, so the "
+           "surplus budget can never be used";
+  // Zero is a meaningful "phase disabled" setting for MaxObligations /
+  // MaxSubsetSize / the assumption caps, so those are not rejected; only
+  // combinations no configuration could ever want are.
+  if (MaxRefinements > 0 && MaxSygusAssumptions == 0)
+    return "MaxRefinements > 0 with MaxSygusAssumptions == 0: the "
+           "refinement loop (Alg. 4) only ever replaces SyGuS-generated "
+           "assumptions, so there is nothing it could refine";
+  return "";
+}
 
 const Formula *Synthesizer::formulaWithAssumptions(
     const Specification &Spec, const std::vector<const Formula *> &Assumptions) {
@@ -24,7 +46,34 @@ const Formula *Synthesizer::formulaWithAssumptions(
 
 PipelineResult Synthesizer::run(const Specification &Spec,
                                 const PipelineOptions &Options) {
+  if (std::string Problem = Options.validate(); !Problem.empty()) {
+    PipelineResult Result;
+    Result.Status = Realizability::Unknown;
+    Result.Diagnostic = std::move(Problem);
+    return Result;
+  }
   return Options.Eager ? runEager(Spec, Options) : runLazy(Spec, Options);
+}
+
+SolverService &Synthesizer::ensureService(Theory Th,
+                                          const PipelineOptions &Options) {
+  if (Service) {
+    bool Matches = Service->theory() == Th;
+    // An injected service's configuration wins; only the lazily owned
+    // one is rebuilt to track the options.
+    if (!ServiceInjected)
+      Matches = Matches &&
+                Service->config().NumThreads == Options.Parallelism.NumThreads &&
+                Service->config().CacheEnabled == Options.Parallelism.CacheEnabled;
+    if (Matches)
+      return *Service;
+  }
+  SolverService::Config C;
+  C.NumThreads = Options.Parallelism.NumThreads;
+  C.CacheEnabled = Options.Parallelism.CacheEnabled;
+  Service = std::make_shared<SolverService>(Th, C);
+  ServiceInjected = false;
+  return *Service;
 }
 
 namespace {
@@ -52,53 +101,97 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
   Result.Stats.PredicateCount = Decomp.PredicateLiterals.size();
   Result.Stats.UpdateTermCount = Decomp.UpdateTerms.size();
 
+  SolverService &Svc = ensureService(Spec.Th, Options);
   ConsistencyResult Consistency = checkConsistency(
-      Decomp.PredicateLiterals, Spec.Th, Ctx, Options.Consistency);
+      Decomp.PredicateLiterals, Spec.Th, Ctx, Options.Consistency, &Svc);
   Result.ConsistencyAssumptions = Consistency.Assumptions;
   Result.Stats.ConsistencyQueries = Consistency.SolverQueries;
 
-  // SyGuS per obligation, with two levels of deduplication: exact
-  // formula identity (hash-consing) and (update chain, post) pairs --
-  // the same program/post with a stronger pre-condition adds nothing.
+  // SyGuS per obligation. Obligations are independent, so with pool
+  // workers available they are generated concurrently (one
+  // AssumptionGenerator per task; the shared Context factories are
+  // internally synchronized) and merged afterwards. The merge order is
+  // obligation order under DeterministicMerge (byte-identical output
+  // for every NumThreads value) or completion order otherwise.
+  const std::vector<Obligation> &Obs = Decomp.Obligations;
+  const bool Parallel = Svc.pool().workerCount() > 0 && Obs.size() > 1;
+  std::vector<std::optional<GeneratedAssumption>> Generated;
+  std::vector<size_t> Order(Obs.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  if (Parallel) {
+    Generated.resize(Obs.size());
+    std::mutex CompletionMutex;
+    std::vector<size_t> Completion;
+    Completion.reserve(Obs.size());
+    Svc.pool().forEach(Obs.size(), [&](size_t I) {
+      AssumptionGenerator Worker(Spec, Ctx);
+      Worker.Opts = Options.Sygus;
+      Worker.setService(&Svc);
+      auto G = Worker.generate(Obs[I]);
+      std::lock_guard<std::mutex> Lock(CompletionMutex);
+      Generated[I] = std::move(G);
+      Completion.push_back(I);
+    });
+    if (!Options.Parallelism.DeterministicMerge)
+      Order = std::move(Completion);
+  }
+
+  // Merge with two levels of deduplication: exact formula identity
+  // (hash-consing) and (update chain, post) pairs -- the same
+  // program/post with a stronger pre-condition adds nothing. The caps
+  // are applied at merge time, so the serial path generates lazily and
+  // stops at the cap exactly like the pre-service pipeline.
   std::vector<const Formula *> SeenAssumptions;
   std::vector<std::pair<const Formula *, const Formula *>> SeenUpdPost;
   size_t LoopCount = 0;
-  for (const Obligation &Ob : Decomp.Obligations) {
+  for (size_t I : Order) {
     if (Result.SygusAssumptions.size() >= Options.MaxSygusAssumptions)
       break;
-    auto Generated = Generator.generate(Ob);
-    if (!Generated)
+    std::optional<GeneratedAssumption> G =
+        Parallel ? std::move(Generated[I]) : Generator.generate(Obs[I]);
+    if (!G)
       continue;
-    if (Generated->IsLoop && LoopCount >= Options.MaxLoopAssumptions)
+    if (G->IsLoop && LoopCount >= Options.MaxLoopAssumptions)
       continue;
     if (std::find(SeenAssumptions.begin(), SeenAssumptions.end(),
-                  Generated->Assumption) != SeenAssumptions.end())
+                  G->Assumption) != SeenAssumptions.end())
       continue;
-    auto Pair = std::make_pair(Generated->UpdFormula, Generated->PostFormula);
+    auto Pair = std::make_pair(G->UpdFormula, G->PostFormula);
     if (std::find(SeenUpdPost.begin(), SeenUpdPost.end(), Pair) !=
         SeenUpdPost.end())
       continue;
-    SeenAssumptions.push_back(Generated->Assumption);
+    SeenAssumptions.push_back(G->Assumption);
     SeenUpdPost.push_back(Pair);
-    LoopCount += Generated->IsLoop ? 1 : 0;
-    Result.SygusAssumptions.push_back(std::move(*Generated));
+    LoopCount += G->IsLoop ? 1 : 0;
+    Result.SygusAssumptions.push_back(std::move(*G));
   }
 }
 
 PipelineResult Synthesizer::runEager(const Specification &Spec,
                                      const PipelineOptions &Options) {
   PipelineResult Result;
+  SolverService &Svc = ensureService(Spec.Th, Options);
+  const size_t Hits0 = Svc.cache().hits();
+  const size_t Misses0 = Svc.cache().misses();
+  auto CaptureCacheStats = [&] {
+    Result.Stats.CacheHits = Svc.cache().hits() - Hits0;
+    Result.Stats.CacheMisses = Svc.cache().misses() - Misses0;
+  };
   Timer PsiTimer;
+  CpuTimer PsiCpu;
 
   // --- Decomposition, consistency checking, SyGuS (Secs. 4.1-4.3). -------
   AssumptionGenerator Generator(Spec, Ctx);
   Generator.Opts = Options.Sygus;
+  Generator.setService(&Svc);
   generateAssumptions(Spec, Options, Generator, Result);
 
   Result.Stats.PsiGenSeconds = PsiTimer.seconds();
+  Result.Stats.PsiGenCpuSeconds = PsiCpu.seconds();
 
   // --- Reactive synthesis + refinement loop (Sec. 4.4, Alg. 4). ----------
   Timer SynthTimer;
+  CpuTimer SynthCpu;
   // Per-obligation exclusion lists for refinement.
   std::vector<std::vector<SequentialProgram>> ExcludedSeq(
       Result.SygusAssumptions.size());
@@ -129,11 +222,15 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
       Result.Status = Realizability::Realizable;
       Result.Machine = std::move(Reactive.Machine);
       Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+      Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
+      CaptureCacheStats();
       return Result;
     }
     if (Reactive.Status == Realizability::Unknown) {
       Result.Status = Realizability::Unknown;
       Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+      Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
+      CaptureCacheStats();
       return Result;
     }
 
@@ -192,6 +289,8 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
 
   Result.Status = Realizability::Unrealizable;
   Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+  Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
+  CaptureCacheStats();
   return Result;
 }
 
@@ -205,13 +304,20 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
   EagerOptions.Eager = true;
 
   PipelineResult Result;
+  SolverService &Svc = ensureService(Spec.Th, Options);
+  const size_t Hits0 = Svc.cache().hits();
+  const size_t Misses0 = Svc.cache().misses();
   Timer PsiTimer;
+  CpuTimer PsiCpu;
   AssumptionGenerator Generator(Spec, Ctx);
   Generator.Opts = Options.Sygus;
+  Generator.setService(&Svc);
   generateAssumptions(Spec, Options, Generator, Result);
   Result.Stats.PsiGenSeconds = PsiTimer.seconds();
+  Result.Stats.PsiGenCpuSeconds = PsiCpu.seconds();
 
   Timer SynthTimer;
+  CpuTimer SynthCpu;
   std::vector<const Formula *> Current = Result.ConsistencyAssumptions;
   size_t NextSygus = 0;
   for (;;) {
@@ -245,5 +351,8 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
     Current.push_back(Result.SygusAssumptions[NextSygus++].Assumption);
   }
   Result.Stats.SynthesisSeconds = SynthTimer.seconds();
+  Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
+  Result.Stats.CacheHits = Svc.cache().hits() - Hits0;
+  Result.Stats.CacheMisses = Svc.cache().misses() - Misses0;
   return Result;
 }

@@ -20,8 +20,31 @@
 #include "core/ConsistencyChecker.h"
 #include "core/Decomposition.h"
 #include "game/BoundedSynthesis.h"
+#include "theory/SolverService.h"
+
+#include <memory>
+#include <string>
 
 namespace temos {
+
+/// Solver-service tunables: how the pipeline fans independent SMT and
+/// SyGuS work out across workers, and whether verdicts are memoized.
+struct ParallelismOptions {
+  /// Worker threads for the solver service. 1 (the default) runs
+  /// everything inline on the calling thread, exactly like the
+  /// pre-service pipeline.
+  unsigned NumThreads = 1;
+  /// Memoize SMT verdicts in the service's query cache. The cache is
+  /// keyed structurally, so it survives across pipeline runs on the
+  /// same Synthesizer and serves repeated runs (PipelineStats reports
+  /// the hit/miss split per run).
+  bool CacheEnabled = true;
+  /// Merge parallel results in task order so the emitted assumption
+  /// set is byte-identical for every NumThreads value. Off merges in
+  /// completion order: the assumption *set* generated per obligation is
+  /// unchanged but cap-induced truncation may differ between runs.
+  bool DeterministicMerge = true;
+};
 
 /// Pipeline tunables.
 struct PipelineOptions {
@@ -29,6 +52,7 @@ struct PipelineOptions {
   ConsistencyOptions Consistency;
   SynthesisOptions Reactive;
   AssumptionGenerator::Options Sygus;
+  ParallelismOptions Parallelism;
   /// Refinement-loop iterations (Alg. 4) before giving up.
   unsigned MaxRefinements = 8;
   /// Cap on SyGuS-generated assumptions: assumptions beyond the cap are
@@ -48,25 +72,47 @@ struct PipelineOptions {
   /// reactive synthesis after each -- the alternative discussed in
   /// Sec. 5.2, implemented for the ablation bench.
   bool Eager = true;
+
+  /// Checks the option combination for contradictions the pipeline
+  /// cannot honor (zero worker threads, a loop-assumption cap above the
+  /// total SyGuS cap, refinement with SyGuS disabled, ...). Zero-valued
+  /// phase budgets mean "phase disabled" and are accepted. Returns an
+  /// empty string when the options are coherent, otherwise a
+  /// human-readable diagnostic. Synthesizer::run calls this up front
+  /// and refuses to run on a non-empty answer.
+  std::string validate() const;
 };
 
-/// Table 1's per-benchmark columns.
+/// Table 1's per-benchmark columns, plus solver-service accounting.
 struct PipelineStats {
   size_t SpecSize = 0;        // |phi|
   size_t PredicateCount = 0;  // |P|
   size_t UpdateTermCount = 0; // |F|
   size_t AssumptionCount = 0; // |psi|
-  double PsiGenSeconds = 0;   // psi generation
-  double SynthesisSeconds = 0; // TSL synthesis
+  double PsiGenSeconds = 0;   // psi generation, wall clock
+  double SynthesisSeconds = 0; // TSL synthesis, wall clock
+  /// CPU time (summed over all service workers) per phase. With N
+  /// workers busy, CPU time approaches N x wall time; the ratio is the
+  /// observed parallel utilization Table-1 speedup reports cite.
+  double PsiGenCpuSeconds = 0;
+  double SynthesisCpuSeconds = 0;
   unsigned Refinements = 0;
   unsigned ReactiveRuns = 0;
   size_t GameStates = 0;
   size_t ConsistencyQueries = 0;
+  /// Query-cache hits/misses attributable to this run (the cache itself
+  /// persists across runs on the same Synthesizer, which is where
+  /// repeated-run hits come from).
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
 };
 
 /// Result of running the pipeline.
 struct PipelineResult {
   Realizability Status = Realizability::Unknown;
+  /// Non-empty when the run was refused up front (option validation
+  /// failure); Status is Unknown in that case.
+  std::string Diagnostic;
   std::optional<MealyMachine> Machine;
   /// Alphabet used for the final (successful) reactive synthesis run.
   Alphabet AB;
@@ -82,7 +128,8 @@ class Synthesizer {
 public:
   explicit Synthesizer(Context &Ctx) : Ctx(Ctx) {}
 
-  /// Runs the full pipeline on \p Spec.
+  /// Runs the full pipeline on \p Spec. Refuses to run (Status Unknown,
+  /// Diagnostic set) when Options.validate() reports a problem.
   PipelineResult run(const Specification &Spec,
                      const PipelineOptions &Options = {});
 
@@ -92,19 +139,39 @@ public:
       const Specification &Spec,
       const std::vector<const Formula *> &Assumptions);
 
+  /// Injects a solver service to use instead of the lazily created one
+  /// -- benches and tests share one cache across Synthesizer instances
+  /// this way. The injected service's configuration wins over
+  /// PipelineOptions::Parallelism.
+  void setSolverService(std::shared_ptr<SolverService> S) {
+    Service = std::move(S);
+    ServiceInjected = Service != nullptr;
+  }
+
+  /// The service the pipeline is using (null until the first run unless
+  /// one was injected). Its cache persists across run() calls, which is
+  /// what makes repeated runs report cache hits.
+  std::shared_ptr<SolverService> solverService() const { return Service; }
+
 private:
   PipelineResult runEager(const Specification &Spec,
                           const PipelineOptions &Options);
   PipelineResult runLazy(const Specification &Spec,
                          const PipelineOptions &Options);
   /// Shared front half: decomposition, consistency checking and SyGuS
-  /// assumption generation (with semantic deduplication).
+  /// assumption generation (with semantic deduplication). Fans
+  /// independent obligations out across the service's pool.
   void generateAssumptions(const Specification &Spec,
                            const PipelineOptions &Options,
                            AssumptionGenerator &Generator,
                            PipelineResult &Result);
+  /// Returns the service to use for this run, (re)creating the lazily
+  /// owned one when the theory or parallelism configuration changed.
+  SolverService &ensureService(Theory Th, const PipelineOptions &Options);
 
   Context &Ctx;
+  std::shared_ptr<SolverService> Service;
+  bool ServiceInjected = false;
 };
 
 } // namespace temos

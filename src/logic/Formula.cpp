@@ -87,6 +87,9 @@ const Formula *FormulaFactory::intern(Formula::Kind K, const Term *Atom,
     Key += '@';
     Key += std::to_string(reinterpret_cast<uintptr_t>(Kid));
   }
+  // Find-or-create must be atomic: two workers interning the same
+  // structure concurrently must receive the same node (and id).
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Formulas.find(Key);
   if (It != Formulas.end())
     return It->second.get();
@@ -239,8 +242,11 @@ const Formula *FormulaFactory::toNNF(const Formula *F) {
 
 const Formula *FormulaFactory::nnf(const Formula *F, bool Negated) {
   auto &Cache = NNFCache[Negated ? 1 : 0];
-  if (auto It = Cache.find(F); It != Cache.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(NNFMutex);
+    if (auto It = Cache.find(F); It != Cache.end())
+      return It->second;
+  }
 
   const Formula *Result = nullptr;
   switch (F->kind()) {
@@ -326,6 +332,9 @@ const Formula *FormulaFactory::nnf(const Formula *F, bool Negated) {
   }
 
   assert(Result && "NNF produced no result");
+  // Concurrent workers may race to fill the same entry; both computed
+  // the same hash-consed node, so emplace's first-wins is benign.
+  std::lock_guard<std::mutex> Lock(NNFMutex);
   Cache.emplace(F, Result);
   return Result;
 }

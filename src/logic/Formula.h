@@ -21,6 +21,7 @@
 #include "logic/Term.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -117,6 +118,13 @@ private:
 };
 
 /// Hash-consing factory for formulas.
+///
+/// Thread safety: interning and the NNF memo are serialized by internal
+/// mutexes, so concurrent solver-service workers may build formulas in
+/// one shared factory. Note that Formula::id() reflects interning
+/// order: under concurrent construction ids are valid and unique but
+/// their assignment order depends on scheduling, so ids order formula
+/// sets consistently *within* a run, not across runs.
 class FormulaFactory {
 public:
   FormulaFactory() = default;
@@ -158,7 +166,10 @@ public:
   /// decomposition algorithm and the tableau expansion laws want them).
   const Formula *toNNF(const Formula *F);
 
-  size_t size() const { return Formulas.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Formulas.size();
+  }
 
 private:
   const Formula *intern(Formula::Kind K, const Term *Atom,
@@ -166,6 +177,10 @@ private:
                         std::vector<const Formula *> Kids);
   const Formula *nnf(const Formula *F, bool Negated);
 
+  mutable std::mutex Mutex;
+  /// Guards NNFCache separately: nnf() recurses through intern(), so
+  /// the memo cannot share the interning mutex without deadlock.
+  mutable std::mutex NNFMutex;
   std::unordered_map<std::string, std::unique_ptr<Formula>> Formulas;
   std::unordered_map<const Formula *, const Formula *> NNFCache[2];
 };

@@ -848,16 +848,21 @@ ExprValue Parser::parsePrimary() {
 
 } // namespace
 
-std::optional<Specification>
-temos::parseSpecification(const std::string &Source, Context &Ctx,
-                          ParseError &Err) {
+ParseResult<Specification>
+temos::parseSpecification(const std::string &Source, Context &Ctx) {
+  ParseError Err;
   Parser P(Source, Ctx, Err);
-  return P.parseSpec();
+  if (std::optional<Specification> Spec = P.parseSpec())
+    return std::move(*Spec);
+  return Err;
 }
 
-const Formula *temos::parseFormula(const std::string &Source,
-                                   const Specification &Spec, Context &Ctx,
-                                   ParseError &Err) {
+ParseResult<const Formula *>
+temos::parseFormula(const std::string &Source, const Specification &Spec,
+                    Context &Ctx) {
+  ParseError Err;
   Parser P(Source, Ctx, Err);
-  return P.parseSingleFormula(Spec);
+  if (const Formula *F = P.parseSingleFormula(Spec))
+    return F;
+  return Err;
 }

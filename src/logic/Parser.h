@@ -44,16 +44,51 @@ struct ParseError {
   }
 };
 
-/// Parses a full specification. On failure returns std::nullopt and fills
-/// \p Err. All terms/formulas are allocated in \p Ctx.
-std::optional<Specification> parseSpecification(const std::string &Source,
-                                                Context &Ctx, ParseError &Err);
+/// Value-or-diagnostic result of a parse: either the parsed value or a
+/// ParseError, never both. Converts to bool (true = success); the value
+/// is reached with * / -> / value(), the diagnostic with error().
+///
+/// This replaces the older out-parameter convention
+/// (`parse...(Source, Ctx, ParseError &Err)`): the error can no longer
+/// be silently ignored, and call sites need no pre-declared error slot.
+template <typename T> class [[nodiscard]] ParseResult {
+public:
+  /*implicit*/ ParseResult(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ ParseResult(ParseError Err) : Err(std::move(Err)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool ok() const { return Value.has_value(); }
+
+  T &operator*() { return *Value; }
+  const T &operator*() const { return *Value; }
+  T *operator->() { return &*Value; }
+  const T *operator->() const { return &*Value; }
+  T &value() { return *Value; }
+  const T &value() const { return *Value; }
+
+  /// The value on success, \p Default on failure (handy for pointer
+  /// results: `parseFormula(...).valueOr(nullptr)`).
+  T valueOr(T Default) const { return Value ? *Value : std::move(Default); }
+
+  /// The diagnostic; meaningful only when the parse failed.
+  const ParseError &error() const { return Err; }
+
+private:
+  std::optional<T> Value;
+  ParseError Err;
+};
+
+/// Parses a full specification. All terms/formulas are allocated in
+/// \p Ctx.
+ParseResult<Specification> parseSpecification(const std::string &Source,
+                                              Context &Ctx);
 
 /// Parses a single formula against the declarations of \p Spec (used by
-/// tests and by the assumption-injection plumbing).
-const Formula *parseFormula(const std::string &Source,
-                            const Specification &Spec, Context &Ctx,
-                            ParseError &Err);
+/// tests and by the assumption-injection plumbing). The contained
+/// pointer is never null on success.
+ParseResult<const Formula *> parseFormula(const std::string &Source,
+                                          const Specification &Spec,
+                                          Context &Ctx);
 
 } // namespace temos
 

@@ -79,6 +79,9 @@ const Term *TermFactory::intern(Term::Kind K, const std::string &Name, Sort S,
     Key += '@';
     Key += std::to_string(reinterpret_cast<uintptr_t>(Arg));
   }
+  // Find-or-create must be atomic: two workers interning the same
+  // structure concurrently must receive the same node.
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Terms.find(Key);
   if (It != Terms.end())
     return It->second.get();

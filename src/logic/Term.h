@@ -20,6 +20,7 @@
 
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -90,6 +91,11 @@ private:
 /// Hash-consing factory for terms. Terms returned by the factory live as
 /// long as the factory and are unique per structure, so `==` on pointers
 /// is structural equality.
+///
+/// Thread safety: interning is serialized by an internal mutex, so
+/// concurrent solver-service workers may allocate into one shared
+/// factory. Returned Term pointers are immutable and safe to read
+/// without synchronization.
 class TermFactory {
 public:
   TermFactory() = default;
@@ -120,13 +126,17 @@ public:
                 const std::unordered_map<std::string, const Term *> &Map);
 
   /// Number of distinct terms created so far.
-  size_t size() const { return Terms.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Terms.size();
+  }
 
 private:
   const Term *intern(Term::Kind K, const std::string &Name, Sort S,
                      const std::vector<const Term *> &Args,
                      const Rational &Value);
 
+  mutable std::mutex Mutex;
   std::unordered_map<std::string, std::unique_ptr<Term>> Terms;
 };
 

@@ -1,0 +1,87 @@
+//===- support/SolverPool.cpp - Fixed-size worker pool ---------------------===//
+
+#include "support/SolverPool.h"
+
+#include <algorithm>
+
+using namespace temos;
+
+SolverPool::SolverPool(unsigned NumThreads) {
+  if (NumThreads <= 1)
+    return; // Inline pool.
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+SolverPool::~SolverPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void SolverPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping with a drained queue.
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--InFlight == 0 && Queue.empty())
+        AllDone.notify_all();
+    }
+  }
+}
+
+void SolverPool::submit(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push(std::move(Task));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void SolverPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0 && Queue.empty(); });
+}
+
+void SolverPool::forEach(size_t N, const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty()) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  // ~4 chunks per worker balances queue overhead against load imbalance
+  // from uneven task costs (subsumption-pruned masks are near-free).
+  size_t ChunkCount = std::min(N, Workers.size() * 4);
+  size_t ChunkSize = (N + ChunkCount - 1) / ChunkCount;
+  for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+    size_t End = std::min(N, Begin + ChunkSize);
+    submit([&Body, Begin, End] {
+      for (size_t I = Begin; I < End; ++I)
+        Body(I);
+    });
+  }
+  wait();
+}

@@ -1,0 +1,73 @@
+//===- support/SolverPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO work queue, sized for the solver
+/// service: the pipeline's embarrassingly parallel phases (the Sec. 4.2
+/// powerset consistency check and per-obligation SyGuS enumeration) fan
+/// their independent SMT/SyGuS tasks out across the workers.
+///
+/// A pool constructed with one thread spawns no workers at all: submit()
+/// runs the task inline on the caller's thread. That makes the
+/// single-threaded configuration byte-for-byte identical to the code
+/// before the pool existed -- no scheduling, no locks on the hot path --
+/// which is what the deterministic-merge guarantee of the pipeline is
+/// anchored on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SUPPORT_SOLVERPOOL_H
+#define TEMOS_SUPPORT_SOLVERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace temos {
+
+/// Fixed-size thread pool with a work queue.
+class SolverPool {
+public:
+  /// Creates a pool of \p NumThreads workers. \p NumThreads <= 1 creates
+  /// an inline pool: no threads, submit() executes immediately.
+  explicit SolverPool(unsigned NumThreads);
+  ~SolverPool();
+
+  SolverPool(const SolverPool &) = delete;
+  SolverPool &operator=(const SolverPool &) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  size_t workerCount() const { return Workers.size(); }
+  /// Degree of parallelism: max(1, workerCount()).
+  size_t parallelism() const { return Workers.empty() ? 1 : Workers.size(); }
+
+  /// Enqueues \p Task. Inline pools run it before returning.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished. Tasks may submit
+  /// further tasks; wait() covers those too.
+  void wait();
+
+  /// Runs Body(0) .. Body(N-1), distributing indices across workers in
+  /// submission order, and waits for completion. Chunks adjacent indices
+  /// together to amortize queue overhead on fine-grained work.
+  void forEach(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t InFlight = 0;
+  bool Stopping = false;
+};
+
+} // namespace temos
+
+#endif // TEMOS_SUPPORT_SOLVERPOOL_H

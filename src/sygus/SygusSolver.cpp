@@ -2,6 +2,8 @@
 
 #include "sygus/SygusSolver.h"
 
+#include "theory/SolverService.h"
+
 #include <algorithm>
 #include <set>
 
@@ -221,7 +223,11 @@ bool SygusSolver::verifySequential(const SygusQuery &Query,
   }
   Parts.push_back(Ctx.Formulas.orF(std::move(NegPost)));
   const Formula *Vc = Ctx.Formulas.andF(std::move(Parts));
-  return Solver.checkFormula(Vc) == SatResult::Unsat;
+  return checkSat(Vc) == SatResult::Unsat;
+}
+
+SatResult SygusSolver::checkSat(const Formula *F) {
+  return Service ? Service->checkFormula(F) : Solver.checkFormula(F);
 }
 
 std::optional<SequentialProgram> SygusSolver::synthesizeSequential(
@@ -486,7 +492,7 @@ bool SygusSolver::verifyLoopRanking(const SygusQuery &Query,
     std::vector<const Formula *> Parts = Ambient;
     Parts.push_back(Condition);
     Parts.push_back(Ctx.Formulas.notF(Leq(GAfter, Minus(GNow, One))));
-    return Solver.checkFormula(Ctx.Formulas.andF(std::move(Parts))) ==
+    return checkSat(Ctx.Formulas.andF(std::move(Parts))) ==
            SatResult::Unsat;
   };
 
@@ -517,7 +523,7 @@ bool SygusSolver::verifyLoopRanking(const SygusQuery &Query,
     std::vector<const Formula *> Parts = Ambient;
     Parts.push_back(Lhs);
     Parts.push_back(Ctx.Formulas.notF(Ctx.Formulas.orF(PreAfter, PostAfter)));
-    if (Solver.checkFormula(Ctx.Formulas.andF(std::move(Parts))) !=
+    if (checkSat(Ctx.Formulas.andF(std::move(Parts))) !=
         SatResult::Unsat)
       return false;
   }
@@ -529,13 +535,13 @@ bool SygusSolver::verifyLoopRanking(const SygusQuery &Query,
     std::vector<const Formula *> Parts = Ambient;
     Parts.push_back(PreNow);
     Parts.push_back(Ctx.Formulas.notF(Leq(A, B)));
-    if (Solver.checkFormula(Ctx.Formulas.andF(Parts)) == SatResult::Unsat) {
+    if (checkSat(Ctx.Formulas.andF(Parts)) == SatResult::Unsat) {
       GNow = Minus(B, A);
     } else {
       Parts = Ambient;
       Parts.push_back(PreNow);
       Parts.push_back(Ctx.Formulas.notF(Leq(B, A)));
-      if (Solver.checkFormula(Ctx.Formulas.andF(Parts)) == SatResult::Unsat)
+      if (checkSat(Ctx.Formulas.andF(Parts)) == SatResult::Unsat)
         GNow = Minus(A, B);
       else
         return false;

@@ -60,10 +60,18 @@ struct SygusStats {
   size_t VerifierCalls = 0;
 };
 
+class SolverService;
+
 /// Enumerative SyGuS solver with SMT-backed verification.
 class SygusSolver {
 public:
   SygusSolver(Context &Ctx, Theory Th) : Ctx(Ctx), Th(Th), Solver(Th) {}
+
+  /// Routes verdict-only SMT checks through \p Service so repeated
+  /// verification conditions hit its query cache (shared across
+  /// workers and across pipeline runs). Model-producing queries keep
+  /// using the private solver. Null restores the direct path.
+  void setService(SolverService *S) { Service = S; }
 
   /// Tunables.
   struct Options {
@@ -132,10 +140,14 @@ private:
   /// predicates) -- such samples neither screen nor accept.
   std::optional<bool> postHoldsConcrete(const SygusQuery &Query,
                                         const Assignment &State) const;
+  /// Verdict-only satisfiability, via the service's cache when one is
+  /// attached.
+  SatResult checkSat(const Formula *F);
 
   Context &Ctx;
   Theory Th;
   SmtSolver Solver;
+  SolverService *Service = nullptr;
   Evaluator Eval;
 };
 

@@ -47,9 +47,26 @@ struct TheoryLiteral {
 };
 
 /// Quantifier-free SMT solver over the specification's theory.
+///
+/// Instances keep no state between queries, which the solver-service
+/// layer exploits: clone() hands every pool worker its own instance for
+/// the price of copying the theory tag, and reset() is the explicit
+/// point where any future incremental state (learned lemmas, pushed
+/// scopes) must be discarded to keep that contract.
 class SmtSolver {
 public:
   explicit SmtSolver(Theory Th) : Th(Th) {}
+
+  Theory theory() const { return Th; }
+
+  /// A fresh, independent solver for the same theory. Cheap by design;
+  /// the solver service clones one prototype per query/worker.
+  SmtSolver clone() const { return SmtSolver(Th); }
+
+  /// Drops any state carried across queries. Currently a no-op (the
+  /// solver is stateless); part of the API contract so future
+  /// incremental features cannot silently leak state between workers.
+  void reset() {}
 
   /// Satisfiability of the conjunction of \p Literals. On Sat and
   /// non-null \p Model, fills values for every signal occurring in the

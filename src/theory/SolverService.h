@@ -1,0 +1,112 @@
+//===- theory/SolverService.h - Shared parallel solver service -*- C++ -*-===//
+///
+/// \file
+/// The solver-service layer: a shared front door to SMT satisfiability
+/// for every pipeline phase. It combines
+///
+///  * a SolverPool of workers, each running its own SmtSolver clone
+///    (SmtSolver::clone() is cheap because the solver keeps no state
+///    between queries),
+///  * a QueryCache memoizing verdicts under canonical structural keys
+///    (theory tag + sorted literal renderings), and
+///  * an UnsatCoreStore that consistency-check workers publish cores to
+///    so concurrent workers can skip supersets (best-effort pruning; the
+///    deterministic post-filter in the consistency checker makes the
+///    emitted assumption set independent of the pruning races).
+///
+/// Model-producing queries bypass the cache: the cache stores verdicts
+/// only, and callers that need a model need the actual solver run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_THEORY_SOLVERSERVICE_H
+#define TEMOS_THEORY_SOLVERSERVICE_H
+
+#include "support/QueryCache.h"
+#include "support/SolverPool.h"
+#include "theory/SmtSolver.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace temos {
+
+/// Shared store of unsatisfiable literal combinations, as bitmasks over
+/// a fixed predicate numbering. Workers publish cores as they find them
+/// and consult the store to skip supersets whose verdict is implied.
+class UnsatCoreStore {
+public:
+  void publish(uint32_t Mask) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Cores.push_back(Mask);
+  }
+
+  /// True if some published core is a subset of \p Mask (the mask's
+  /// unsatisfiability is already implied).
+  bool subsumes(uint32_t Mask) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (uint32_t Core : Cores)
+      if ((Mask & Core) == Core)
+        return true;
+    return false;
+  }
+
+  std::vector<uint32_t> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Cores;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<uint32_t> Cores;
+};
+
+/// Parallel, memoizing satisfiability service over one theory.
+class SolverService {
+public:
+  struct Config {
+    /// Worker threads; 1 means run inline on the caller's thread.
+    unsigned NumThreads = 1;
+    /// Memoize verdicts in the query cache.
+    bool CacheEnabled = true;
+  };
+
+  explicit SolverService(Theory Th) : SolverService(Th, Config()) {}
+  SolverService(Theory Th, Config C);
+
+  Theory theory() const { return Prototype.theory(); }
+  const Config &config() const { return Cfg; }
+
+  /// Satisfiability of a literal conjunction, served from the cache
+  /// when possible. Pass \p Model to obtain a satisfying assignment;
+  /// model queries always run the solver.
+  SatResult checkLiterals(const std::vector<TheoryLiteral> &Literals,
+                          Assignment *Model = nullptr);
+
+  /// Satisfiability of a boolean-structure formula (cached).
+  SatResult checkFormula(const Formula *F, Assignment *Model = nullptr);
+
+  /// Validity of \p F (cached). NNF construction happens in \p Ctx.
+  SatResult checkValid(const Formula *F, Context &Ctx);
+
+  /// The worker pool, for phases that fan out their own task structure
+  /// (the consistency checker's subset sweep, per-obligation SyGuS).
+  SolverPool &pool() { return Pool; }
+
+  QueryCache &cache() { return Cache; }
+  const QueryCache &cache() const { return Cache; }
+
+private:
+  SatResult cached(const std::string &Key,
+                   const std::function<SatResult()> &Compute);
+
+  Config Cfg;
+  SmtSolver Prototype;
+  SolverPool Pool;
+  QueryCache Cache;
+};
+
+} // namespace temos
+
+#endif // TEMOS_THEORY_SOLVERSERVICE_H

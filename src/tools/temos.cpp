@@ -5,15 +5,21 @@
 /// specification, runs the full pipeline, and emits executable code.
 ///
 ///   temos spec.tslmt                 synthesize, print a summary
-///   temos --js spec.tslmt            print the JavaScript controller
-///   temos --cpp spec.tslmt           print the C++ controller
-///   temos --assumptions spec.tslmt   print the generated assumptions
+///   temos --emit=js spec.tslmt       print the JavaScript controller
+///   temos --emit=cpp spec.tslmt      print the C++ controller
+///   temos --emit=assumptions ...     print the generated assumptions
+///   temos --emit=summary ...         print the summary table (default)
+///   temos --jobs N spec.tslmt        fan solver work out over N threads
+///   temos --no-cache spec.tslmt      disable the SMT query cache
 ///   temos --simulate N spec.tslmt    run the controller N steps (inputs
 ///                                    default to zero/false) and print
 ///                                    the cell trace
 ///   temos --lazy spec.tslmt          use the lazy assumption strategy
 ///   temos --benchmark NAME           run a bundled Table-1 benchmark
 ///   temos --list                     list the bundled benchmarks
+///
+/// The pre-redesign spellings --js, --cpp and --assumptions still work
+/// as deprecated aliases for the corresponding --emit=... values.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 using namespace temos;
 
@@ -36,17 +43,42 @@ namespace {
 int usage(const char *Program) {
   std::fprintf(
       stderr,
-      "usage: %s [--js|--cpp|--assumptions|--simulate N|--lazy] "
+      "usage: %s [--emit=<js|cpp|assumptions|summary>] [--jobs N] "
+      "[--no-cache] [--simulate N] [--lazy] "
       "(spec.tslmt | --benchmark NAME | --list)\n",
       Program);
   return 2;
 }
 
+/// What the tool prints on success.
+enum class EmitKind { Summary, Js, Cpp, Assumptions };
+
+/// Parses an --emit= payload; returns false on an unknown value.
+bool parseEmitKind(const char *Value, EmitKind &Out) {
+  if (std::strcmp(Value, "js") == 0)
+    Out = EmitKind::Js;
+  else if (std::strcmp(Value, "cpp") == 0)
+    Out = EmitKind::Cpp;
+  else if (std::strcmp(Value, "assumptions") == 0)
+    Out = EmitKind::Assumptions;
+  else if (std::strcmp(Value, "summary") == 0)
+    Out = EmitKind::Summary;
+  else
+    return false;
+  return true;
+}
+
+void warnDeprecated(const char *Old, const char *New) {
+  std::fprintf(stderr, "warning: %s is deprecated, use %s\n", Old, New);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  bool EmitJs = false, EmitCppCode = false, PrintAssumptions = false;
+  EmitKind Emit = EmitKind::Summary;
   bool Lazy = false;
+  unsigned Jobs = 1;
+  bool CacheEnabled = true;
   long SimulateSteps = -1;
   const char *Path = nullptr;
   const char *BenchmarkName = nullptr;
@@ -58,12 +90,31 @@ int main(int argc, char **argv) {
       return 0;
     } else if (std::strcmp(argv[I], "--benchmark") == 0 && I + 1 < argc) {
       BenchmarkName = argv[++I];
+    } else if (std::strncmp(argv[I], "--emit=", 7) == 0) {
+      if (!parseEmitKind(argv[I] + 7, Emit)) {
+        std::fprintf(stderr, "error: unknown --emit value '%s'\n",
+                     argv[I] + 7);
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (N < 1 || End == argv[I] || *End != '\0') {
+        std::fprintf(stderr, "error: --jobs needs a positive thread count\n");
+        return usage(argv[0]);
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (std::strcmp(argv[I], "--no-cache") == 0) {
+      CacheEnabled = false;
     } else if (std::strcmp(argv[I], "--js") == 0) {
-      EmitJs = true;
+      warnDeprecated("--js", "--emit=js");
+      Emit = EmitKind::Js;
     } else if (std::strcmp(argv[I], "--cpp") == 0) {
-      EmitCppCode = true;
+      warnDeprecated("--cpp", "--emit=cpp");
+      Emit = EmitKind::Cpp;
     } else if (std::strcmp(argv[I], "--assumptions") == 0) {
-      PrintAssumptions = true;
+      warnDeprecated("--assumptions", "--emit=assumptions");
+      Emit = EmitKind::Assumptions;
     } else if (std::strcmp(argv[I], "--lazy") == 0) {
       Lazy = true;
     } else if (std::strcmp(argv[I], "--simulate") == 0 && I + 1 < argc) {
@@ -98,18 +149,23 @@ int main(int argc, char **argv) {
   }
 
   Context Ctx;
-  ParseError Err;
-  auto Spec = parseSpecification(Source, Ctx, Err);
+  auto Spec = parseSpecification(Source, Ctx);
   if (!Spec) {
-    std::fprintf(stderr, "%s:%s\n", Path, Err.str().c_str());
+    std::fprintf(stderr, "%s:%s\n", Path, Spec.error().str().c_str());
     return 1;
   }
 
   Synthesizer Synth(Ctx);
   PipelineOptions Options;
   Options.Eager = !Lazy;
+  Options.Parallelism.NumThreads = Jobs;
+  Options.Parallelism.CacheEnabled = CacheEnabled;
   PipelineResult R = Synth.run(*Spec, Options);
 
+  if (!R.Diagnostic.empty()) {
+    std::fprintf(stderr, "error: invalid options: %s\n", R.Diagnostic.c_str());
+    return 2;
+  }
   if (R.Status != Realizability::Realizable) {
     std::fprintf(stderr, "%s: %s\n", Spec->Name.c_str(),
                  R.Status == Realizability::Unrealizable
@@ -118,16 +174,16 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (PrintAssumptions) {
+  if (Emit == EmitKind::Assumptions) {
     for (const Formula *A : R.Assumptions)
       std::printf("%s\n", A->str().c_str());
     return 0;
   }
-  if (EmitJs) {
+  if (Emit == EmitKind::Js) {
     std::printf("%s", emitJavaScript(*R.Machine, R.AB, *Spec).c_str());
     return 0;
   }
-  if (EmitCppCode) {
+  if (Emit == EmitKind::Cpp) {
     std::printf("%s", emitCpp(*R.Machine, R.AB, *Spec).c_str());
     return 0;
   }
@@ -167,9 +223,16 @@ int main(int argc, char **argv) {
   std::printf("  |phi|=%zu |P|=%zu |F|=%zu |psi|=%zu\n", R.Stats.SpecSize,
               R.Stats.PredicateCount, R.Stats.UpdateTermCount,
               R.Stats.AssumptionCount);
-  std::printf("  psi generation:   %.3fs\n", R.Stats.PsiGenSeconds);
-  std::printf("  TSL synthesis:    %.3fs (%u refinement rounds)\n",
-              R.Stats.SynthesisSeconds, R.Stats.Refinements);
+  std::printf("  psi generation:   %.3fs wall, %.3fs cpu\n",
+              R.Stats.PsiGenSeconds, R.Stats.PsiGenCpuSeconds);
+  std::printf("  TSL synthesis:    %.3fs wall, %.3fs cpu "
+              "(%u refinement rounds)\n",
+              R.Stats.SynthesisSeconds, R.Stats.SynthesisCpuSeconds,
+              R.Stats.Refinements);
+  std::printf("  solver jobs:      %u thread%s, cache %s "
+              "(%zu hits, %zu misses)\n",
+              Jobs, Jobs == 1 ? "" : "s", CacheEnabled ? "on" : "off",
+              R.Stats.CacheHits, R.Stats.CacheMisses);
   std::printf("  machine states:   %zu\n", R.Machine->stateCount());
   std::printf("  JavaScript LoC:   %zu\n",
               countLines(emitJavaScript(*R.Machine, R.AB, *Spec)));

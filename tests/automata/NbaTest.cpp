@@ -13,13 +13,12 @@ namespace {
 class NbaTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    ParseError Err;
     auto Parsed = parseSpecification(R"(
       inputs { bool p; }
       cells { int x = 0; }
       always guarantee { G (p -> [x <- x]); }
-    )", Ctx, Err);
-    ASSERT_TRUE(Parsed.has_value()) << Err.str();
+    )", Ctx);
+    ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
     Spec = *Parsed;
     AB = Alphabet::build(Spec, Ctx);
   }

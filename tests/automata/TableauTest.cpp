@@ -15,7 +15,6 @@ namespace {
 class TableauTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    ParseError Err;
     auto Parsed = parseSpecification(R"(
       #LIA#
       inputs { bool p, q; }
@@ -24,18 +23,17 @@ protected:
         G (p -> [x <- x + 1]);
         G (q -> [x <- x - 1]);
       }
-    )", Ctx, Err);
-    ASSERT_TRUE(Parsed.has_value()) << Err.str();
+    )", Ctx);
+    ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
     Spec = *Parsed;
     AB = Alphabet::build(Spec, Ctx);
   }
 
   /// Parses a formula in the fixture's signal scope.
   const Formula *formula(const std::string &Source) {
-    ParseError Err;
-    const Formula *F = parseFormula(Source, Spec, Ctx, Err);
-    EXPECT_NE(F, nullptr) << Err.str();
-    return F;
+    auto F = parseFormula(Source, Spec, Ctx);
+    EXPECT_TRUE(F.ok()) << F.error().str();
+    return F.valueOr(nullptr);
   }
 
   bool sat(const std::string &Source) {

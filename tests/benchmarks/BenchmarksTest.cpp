@@ -42,9 +42,8 @@ TEST(Benchmarks, FindByName) {
 TEST(Benchmarks, AllSpecsParse) {
   for (const BenchmarkSpec &B : allBenchmarks()) {
     Context Ctx;
-    ParseError Err;
-    auto Spec = parseSpecification(B.Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << B.Name << ": " << Err.str();
+    auto Spec = parseSpecification(B.Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << B.Name << ": " << Spec.error().str();
     if (!Spec)
       continue;
     EXPECT_FALSE(Spec->AlwaysGuarantees.empty() && Spec->Guarantees.empty())
@@ -82,15 +81,13 @@ INSTANTIATE_TEST_SUITE_P(Table1, FastBenchmark,
 TEST(Benchmarks, AllSpecsRoundTripThroughPrinter) {
   for (const BenchmarkSpec &B : allBenchmarks()) {
     Context Ctx;
-    ParseError Err;
-    auto Spec = parseSpecification(B.Source, Ctx, Err);
-    ASSERT_TRUE(Spec.has_value()) << B.Name << ": " << Err.str();
+    auto Spec = parseSpecification(B.Source, Ctx);
+    ASSERT_TRUE(Spec.ok()) << B.Name << ": " << Spec.error().str();
     std::string Printed = Spec->str();
     Context Ctx2;
-    ParseError Err2;
-    auto Reparsed = parseSpecification(Printed, Ctx2, Err2);
-    ASSERT_TRUE(Reparsed.has_value())
-        << B.Name << ": " << Err2.str() << "\n" << Printed;
+    auto Reparsed = parseSpecification(Printed, Ctx2);
+    ASSERT_TRUE(Reparsed.ok())
+        << B.Name << ": " << Reparsed.error().str() << "\n" << Printed;
     ASSERT_EQ(Reparsed->AlwaysGuarantees.size(),
               Spec->AlwaysGuarantees.size())
         << B.Name;
@@ -104,9 +101,8 @@ TEST(Benchmarks, AllSpecsRoundTripThroughPrinter) {
 TEST(Benchmarks, AllSpecsExportTlsf) {
   for (const BenchmarkSpec &B : allBenchmarks()) {
     Context Ctx;
-    ParseError Err;
-    auto Spec = parseSpecification(B.Source, Ctx, Err);
-    ASSERT_TRUE(Spec.has_value()) << B.Name;
+    auto Spec = parseSpecification(B.Source, Ctx);
+    ASSERT_TRUE(Spec.ok()) << B.Name;
     Alphabet AB = Alphabet::build(*Spec, Ctx);
     std::string Tlsf = exportTlsf(*Spec, AB, Ctx);
     EXPECT_NE(Tlsf.find("INFO {"), std::string::npos) << B.Name;
@@ -126,9 +122,8 @@ TEST(Benchmarks, SpecSizesInPaperRegime) {
   // |phi|, |P|, |F| stay in the paper's small-integer regime.
   for (const BenchmarkSpec &B : allBenchmarks()) {
     Context Ctx;
-    ParseError Err;
-    auto Spec = parseSpecification(B.Source, Ctx, Err);
-    ASSERT_TRUE(Spec.has_value()) << B.Name;
+    auto Spec = parseSpecification(B.Source, Ctx);
+    ASSERT_TRUE(Spec.ok()) << B.Name;
     size_t Size = 0;
     for (const Formula *F : Spec->AlwaysGuarantees)
       Size += F->size();

@@ -14,9 +14,8 @@ namespace {
 class CodeEmitterTest : public ::testing::Test {
 protected:
   PipelineResult synthesize(const std::string &Source) {
-    ParseError Err;
-    auto Parsed = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Parsed.has_value()) << Err.str();
+    auto Parsed = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Parsed.ok()) << Parsed.error().str();
     Spec = *Parsed;
     Synthesizer Synth(Ctx);
     PipelineResult R = Synth.run(Spec);
@@ -104,7 +103,6 @@ TEST_F(CodeEmitterTest, LocGrowsWithMachineSize) {
   std::string SmallJs = emitJavaScript(*Small.Machine, Small.AB, Spec);
 
   Context Ctx2;
-  ParseError Err;
   auto BigSpec = parseSpecification(R"(
     #LIA#
     inputs { int a, b; }
@@ -114,8 +112,8 @@ TEST_F(CodeEmitterTest, LocGrowsWithMachineSize) {
       G (b < y -> [y <- y + 1]);
       G (x < a -> [x <- x]);
     }
-  )", Ctx2, Err);
-  ASSERT_TRUE(BigSpec.has_value()) << Err.str();
+  )", Ctx2);
+  ASSERT_TRUE(BigSpec.ok()) << BigSpec.error().str();
   Synthesizer Synth2(Ctx2);
   PipelineResult Big = Synth2.run(*BigSpec);
   ASSERT_EQ(Big.Status, Realizability::Realizable);

@@ -44,7 +44,6 @@ TEST(CppDifferential, MutexControllerMatchesInterpreter) {
     GTEST_SKIP() << "g++ not available";
 
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #LIA#
     spec Mutex
@@ -54,8 +53,8 @@ TEST(CppDifferential, MutexControllerMatchesInterpreter) {
       G (x < y -> [m <- x]);
       G (y < x -> [m <- y]);
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);

@@ -15,9 +15,8 @@ class InterpreterTest : public ::testing::Test {
 protected:
   /// Synthesizes the spec and wraps the machine in a Controller.
   PipelineResult synthesize(const std::string &Source) {
-    ParseError Err;
-    auto Parsed = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Parsed.has_value()) << Err.str();
+    auto Parsed = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Parsed.ok()) << Parsed.error().str();
     Spec = *Parsed;
     Synthesizer Synth(Ctx);
     PipelineResult R = Synth.run(Spec);

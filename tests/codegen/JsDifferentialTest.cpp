@@ -48,7 +48,6 @@ TEST(JsDifferential, MutexControllerMatchesInterpreter) {
     GTEST_SKIP() << "node not available";
 
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #LIA#
     spec Mutex
@@ -58,8 +57,8 @@ TEST(JsDifferential, MutexControllerMatchesInterpreter) {
       G (x < y -> [m <- x]);
       G (y < x -> [m <- y]);
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);
@@ -107,7 +106,6 @@ TEST(JsDifferential, CounterControllerMatchesInterpreter) {
     GTEST_SKIP() << "node not available";
 
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #LIA#
     spec Counter
@@ -116,8 +114,8 @@ TEST(JsDifferential, CounterControllerMatchesInterpreter) {
       [x <- x + 1] || [x <- x - 1];
       x = 0 -> F (x = 2);
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);

@@ -115,7 +115,6 @@ TEST_F(TraceCheckerTest, MonitorsSynthesizedController) {
   // End-to-end: synthesize the mutex spec, run it, and monitor the
   // guarantees on the recorded trace.
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #LIA#
     inputs { int x, y; }
@@ -124,8 +123,8 @@ TEST_F(TraceCheckerTest, MonitorsSynthesizedController) {
       G (x < y -> [m <- x]);
       G (y < x -> [m <- y]);
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);

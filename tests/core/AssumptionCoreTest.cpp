@@ -13,9 +13,8 @@ namespace {
 class AssumptionCoreTest : public ::testing::Test {
 protected:
   Specification parse(const std::string &Source) {
-    ParseError Err;
-    auto Spec = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    auto Spec = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << Spec.error().str();
     return *Spec;
   }
 
@@ -38,10 +37,9 @@ TEST_F(AssumptionCoreTest, DropsSuperfluousAssumptions) {
   ASSERT_GE(R.Assumptions.size(), 2u);
 
   // Add a valid-but-useless extra assumption.
-  ParseError Err;
-  const Formula *Junk =
-      parseFormula("G (x = 2 -> ! (x = 0))", Spec, Ctx, Err);
-  ASSERT_NE(Junk, nullptr) << Err.str();
+  auto JunkR = parseFormula("G (x = 2 -> ! (x = 0))", Spec, Ctx);
+  ASSERT_TRUE(JunkR.ok()) << JunkR.error().str();
+  const Formula *Junk = *JunkR;
   std::vector<const Formula *> WithJunk = R.Assumptions;
   WithJunk.push_back(Ctx.Formulas.globally(Junk));
 

@@ -13,19 +13,17 @@ namespace {
 class AssumptionGeneratorTest : public ::testing::Test {
 protected:
   Specification parse(const std::string &Source) {
-    ParseError Err;
-    auto Spec = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    auto Spec = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << Spec.error().str();
     return *Spec;
   }
 
   Obligation obligation(const Specification &Spec, const std::string &Pre,
                         const std::string &Post, Obligation::Kind K,
                         unsigned Steps = 1) {
-    ParseError Err;
-    const Formula *PreF = parseFormula(Pre, Spec, Ctx, Err);
-    const Formula *PostF = parseFormula(Post, Spec, Ctx, Err);
-    EXPECT_TRUE(PreF && PostF) << Err.str();
+    const Formula *PreF = parseFormula(Pre, Spec, Ctx).valueOr(nullptr);
+    const Formula *PostF = parseFormula(Post, Spec, Ctx).valueOr(nullptr);
+    EXPECT_TRUE(PreF && PostF) << Pre << " / " << Post;
     Obligation Ob;
     Ob.Pre = {{PreF->pred(), true}};
     Ob.Post = {{PostF->pred(), true}};
@@ -194,10 +192,9 @@ TEST_F(AssumptionGeneratorTest, UninterpretedTheoryExampleFourThree) {
     }
   )");
   AssumptionGenerator Gen(Spec, Ctx);
-  ParseError Err;
-  const Formula *PX = parseFormula("p x", Spec, Ctx, Err);
-  const Formula *PY = parseFormula("p y", Spec, Ctx, Err);
-  ASSERT_TRUE(PX && PY) << Err.str();
+  const Formula *PX = parseFormula("p x", Spec, Ctx).valueOr(nullptr);
+  const Formula *PY = parseFormula("p y", Spec, Ctx).valueOr(nullptr);
+  ASSERT_TRUE(PX && PY);
   Obligation Ob;
   Ob.Pre = {{PX->pred(), true}};
   Ob.Post = {{PY->pred(), true}};

@@ -13,9 +13,8 @@ namespace {
 class DecompositionTest : public ::testing::Test {
 protected:
   Specification parse(const std::string &Source) {
-    ParseError Err;
-    auto Spec = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    auto Spec = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << Spec.error().str();
     return *Spec;
   }
 

@@ -21,7 +21,6 @@ namespace {
 
 TEST(GoldenPipeline, IntroCounterArtifacts) {
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #LIA#
     spec Counter
@@ -30,8 +29,8 @@ TEST(GoldenPipeline, IntroCounterArtifacts) {
       [x <- x + 1] || [x <- x - 1];
       x = 0 -> F (x = 2);
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);
@@ -65,7 +64,6 @@ TEST(GoldenPipeline, IntroCounterArtifacts) {
 
 TEST(GoldenPipeline, VibratoArtifacts) {
   Context Ctx;
-  ParseError Err;
   auto Spec = parseSpecification(R"(
     #RA#
     spec Vibrato
@@ -78,8 +76,8 @@ TEST(GoldenPipeline, VibratoArtifacts) {
       [lfo <- False()] -> [lfoFreq <- lfoFreq + c1()];
       [lfo <- True()] -> [lfoFreq <- lfoFreq - c1()];
     }
-  )", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  )", Ctx);
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   Synthesizer Synth(Ctx);
   PipelineResult R = Synth.run(*Spec);
   ASSERT_EQ(R.Status, Realizability::Realizable);
@@ -102,7 +100,6 @@ TEST(GoldenPipeline, DeterministicAcrossRuns) {
   // Two independent contexts produce identical machines.
   auto Run = []() {
     Context Ctx;
-    ParseError Err;
     auto Spec = parseSpecification(R"(
       #LIA#
       inputs { int a; }
@@ -111,7 +108,7 @@ TEST(GoldenPipeline, DeterministicAcrossRuns) {
         G (a < x -> [x <- x]);
         G (x < a -> [x <- x + 1]);
       }
-    )", Ctx, Err);
+    )", Ctx);
     Synthesizer Synth(Ctx);
     PipelineResult R = Synth.run(*Spec);
     EXPECT_EQ(R.Status, Realizability::Realizable);

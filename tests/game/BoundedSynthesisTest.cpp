@@ -13,7 +13,6 @@ namespace {
 class BoundedSynthesisTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    ParseError Err;
     auto Parsed = parseSpecification(R"(
       #LIA#
       inputs { bool p, q; }
@@ -21,17 +20,16 @@ protected:
       always guarantee {
         G ([x <- x + 1] || [x <- x - 1] || [x <- x]);
       }
-    )", Ctx, Err);
-    ASSERT_TRUE(Parsed.has_value()) << Err.str();
+    )", Ctx);
+    ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
     Spec = *Parsed;
     AB = Alphabet::build(Spec, Ctx);
   }
 
   const Formula *formula(const std::string &Source) {
-    ParseError Err;
-    const Formula *F = parseFormula(Source, Spec, Ctx, Err);
-    EXPECT_NE(F, nullptr) << Err.str();
-    return F;
+    auto F = parseFormula(Source, Spec, Ctx);
+    EXPECT_TRUE(F.ok()) << F.error().str();
+    return F.valueOr(nullptr);
   }
 
   SynthesisResult synth(const std::string &Source) {

@@ -11,36 +11,36 @@ namespace {
 
 class ParserTest : public ::testing::Test {
 protected:
-  std::optional<Specification> parse(const std::string &Source) {
-    return parseSpecification(Source, Ctx, Err);
+  ParseResult<Specification> parse(const std::string &Source) {
+    return parseSpecification(Source, Ctx);
   }
 
   Context Ctx;
-  ParseError Err;
 };
 
 TEST_F(ParserTest, EmptySpec) {
   auto Spec = parse("");
-  ASSERT_TRUE(Spec.has_value());
+  ASSERT_TRUE(Spec.ok());
   EXPECT_TRUE(Spec->Inputs.empty());
   EXPECT_TRUE(Spec->AlwaysGuarantees.empty());
 }
 
 TEST_F(ParserTest, TheoryHeader) {
   auto Spec = parse("#RA#");
-  ASSERT_TRUE(Spec.has_value());
+  ASSERT_TRUE(Spec.ok());
   EXPECT_EQ(Spec->Th, Theory::LRA);
   auto SpecLIA = parse("#LIA#");
-  ASSERT_TRUE(SpecLIA.has_value());
+  ASSERT_TRUE(SpecLIA.ok());
   EXPECT_EQ(SpecLIA->Th, Theory::LIA);
   auto SpecUF = parse("#UF#");
-  ASSERT_TRUE(SpecUF.has_value());
+  ASSERT_TRUE(SpecUF.ok());
   EXPECT_EQ(SpecUF->Th, Theory::UF);
 }
 
 TEST_F(ParserTest, UnknownTheoryFails) {
-  EXPECT_FALSE(parse("#XYZ#").has_value());
-  EXPECT_FALSE(Err.Message.empty());
+  auto Spec = parse("#XYZ#");
+  EXPECT_FALSE(Spec.ok());
+  EXPECT_FALSE(Spec.error().Message.empty());
 }
 
 TEST_F(ParserTest, SignalDeclarations) {
@@ -49,7 +49,7 @@ TEST_F(ParserTest, SignalDeclarations) {
     cells { int vruntime1 = 0; real freq; }
     outputs { opaque next_task; }
   )");
-  ASSERT_TRUE(Spec.has_value());
+  ASSERT_TRUE(Spec.ok());
   ASSERT_EQ(Spec->Inputs.size(), 3u);
   EXPECT_EQ(Spec->Inputs[0].Name, "task1");
   EXPECT_EQ(Spec->Inputs[2].S, Sort::Bool);
@@ -70,7 +70,7 @@ TEST_F(ParserTest, SimpleGuarantee) {
       [x <- x + 1] || [x <- x - 1];
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->AlwaysGuarantees.size(), 1u);
   const Formula *G = Spec->AlwaysGuarantees[0];
   EXPECT_EQ(G->kind(), Formula::Kind::Or);
@@ -88,7 +88,7 @@ TEST_F(ParserTest, PrefixApplicationSyntax) {
       [lfo <- False()] -> [lfoFreq <- add lfoFreq c1()];
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->AlwaysGuarantees.size(), 3u);
   EXPECT_EQ(Spec->AlwaysGuarantees[0]->str(), "G F [lfo <- True()]");
   EXPECT_EQ(Spec->AlwaysGuarantees[1]->str(),
@@ -107,7 +107,7 @@ TEST_F(ParserTest, InfixAndPrefixBuildSameAst) {
       lt x y -> [m <- x];
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->AlwaysGuarantees.size(), 2u);
   EXPECT_EQ(Spec->AlwaysGuarantees[0], Spec->AlwaysGuarantees[1]);
 }
@@ -124,7 +124,7 @@ TEST_F(ParserTest, TemporalOperators) {
       G F p;
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->AlwaysGuarantees.size(), 6u);
   EXPECT_EQ(Spec->AlwaysGuarantees[1]->kind(), Formula::Kind::Until);
   EXPECT_EQ(Spec->AlwaysGuarantees[2]->kind(), Formula::Kind::WeakUntil);
@@ -137,7 +137,7 @@ TEST_F(ParserTest, PrecedenceImpliesBindsLooserThanAnd) {
     inputs { bool a, b, c; }
     always guarantee { a && b -> c; }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   const Formula *F = Spec->AlwaysGuarantees[0];
   ASSERT_EQ(F->kind(), Formula::Kind::Implies);
   EXPECT_EQ(F->lhs()->kind(), Formula::Kind::And);
@@ -148,7 +148,7 @@ TEST_F(ParserTest, ImpliesIsRightAssociative) {
     inputs { bool a, b, c; }
     always guarantee { a -> b -> c; }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   const Formula *F = Spec->AlwaysGuarantees[0];
   ASSERT_EQ(F->kind(), Formula::Kind::Implies);
   EXPECT_EQ(F->rhs()->kind(), Formula::Kind::Implies);
@@ -165,7 +165,7 @@ TEST_F(ParserTest, DeclaredFunctions) {
       [y <- f x];
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   auto Preds = collectPredicateTerms(*Spec);
   ASSERT_EQ(Preds.size(), 2u);
   EXPECT_EQ(Preds[0]->str(), "(p x)");
@@ -177,8 +177,8 @@ TEST_F(ParserTest, UpdateOfUndeclaredCellFails) {
     inputs { int x; }
     always guarantee { [y <- x]; }
   )");
-  EXPECT_FALSE(Spec.has_value());
-  EXPECT_NE(Err.Message.find("y"), std::string::npos);
+  EXPECT_FALSE(Spec.ok());
+  EXPECT_NE(Spec.error().Message.find("y"), std::string::npos);
 }
 
 TEST_F(ParserTest, UnknownSignalFails) {
@@ -187,7 +187,7 @@ TEST_F(ParserTest, UnknownSignalFails) {
     cells { int c; }
     always guarantee { [c <- zz]; }
   )");
-  EXPECT_FALSE(Spec.has_value());
+  EXPECT_FALSE(Spec.ok());
 }
 
 TEST_F(ParserTest, UnknownFunctionWithArgsFails) {
@@ -196,8 +196,8 @@ TEST_F(ParserTest, UnknownFunctionWithArgsFails) {
     cells { int c; }
     always guarantee { [c <- mystery x]; }
   )");
-  EXPECT_FALSE(Spec.has_value());
-  EXPECT_NE(Err.Message.find("mystery"), std::string::npos);
+  EXPECT_FALSE(Spec.ok());
+  EXPECT_NE(Spec.error().Message.find("mystery"), std::string::npos);
 }
 
 TEST_F(ParserTest, TermUsedAsFormulaMustBeBool) {
@@ -205,7 +205,7 @@ TEST_F(ParserTest, TermUsedAsFormulaMustBeBool) {
     inputs { int x; }
     always guarantee { x; }
   )");
-  EXPECT_FALSE(Spec.has_value());
+  EXPECT_FALSE(Spec.ok());
 }
 
 TEST_F(ParserTest, Comments) {
@@ -217,33 +217,33 @@ TEST_F(ParserTest, Comments) {
       G p;
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->AlwaysGuarantees.size(), 1u);
 }
 
 TEST_F(ParserTest, ErrorCarriesLineNumber) {
   auto Spec = parse("inputs { bool p; }\nalways guarantee {\n  q;\n}");
-  ASSERT_FALSE(Spec.has_value());
-  EXPECT_EQ(Err.Line, 3u);
+  ASSERT_FALSE(Spec.ok());
+  EXPECT_EQ(Spec.error().Line, 3u);
 }
 
 TEST_F(ParserTest, ParseSingleFormula) {
   auto Spec = parse("inputs { int x; } cells { int y; }");
-  ASSERT_TRUE(Spec.has_value());
-  const Formula *F = parseFormula("G (x < y -> [y <- x])", *Spec, Ctx, Err);
-  ASSERT_NE(F, nullptr) << Err.str();
-  EXPECT_EQ(F->kind(), Formula::Kind::Globally);
+  ASSERT_TRUE(Spec.ok());
+  auto F = parseFormula("G (x < y -> [y <- x])", *Spec, Ctx);
+  ASSERT_TRUE(F.ok()) << F.error().str();
+  EXPECT_EQ((*F)->kind(), Formula::Kind::Globally);
 }
 
 TEST_F(ParserTest, ParseSingleFormulaRejectsTrailing) {
   auto Spec = parse("inputs { bool p; }");
-  ASSERT_TRUE(Spec.has_value());
-  EXPECT_EQ(parseFormula("p p", *Spec, Ctx, Err), nullptr);
+  ASSERT_TRUE(Spec.ok());
+  EXPECT_FALSE(parseFormula("p p", *Spec, Ctx).ok());
 }
 
 TEST_F(ParserTest, SpecNameBlock) {
   auto Spec = parse("spec CFS inputs { bool p; }");
-  ASSERT_TRUE(Spec.has_value());
+  ASSERT_TRUE(Spec.ok());
   EXPECT_EQ(Spec->Name, "CFS");
 }
 
@@ -255,12 +255,11 @@ TEST_F(ParserTest, RoundTripThroughStr) {
     always guarantee { G (x < y -> [y <- x + 1]); }
   )";
   auto Spec = parse(Source);
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   std::string Printed = Spec->str();
   Context Ctx2;
-  ParseError Err2;
-  auto Reparsed = parseSpecification(Printed, Ctx2, Err2);
-  ASSERT_TRUE(Reparsed.has_value()) << Err2.str() << "\n" << Printed;
+  auto Reparsed = parseSpecification(Printed, Ctx2);
+  ASSERT_TRUE(Reparsed.ok()) << Reparsed.error().str() << "\n" << Printed;
   ASSERT_EQ(Reparsed->AlwaysGuarantees.size(), 1u);
   EXPECT_EQ(Reparsed->AlwaysGuarantees[0]->str(),
             Spec->AlwaysGuarantees[0]->str());
@@ -272,7 +271,7 @@ TEST_F(ParserTest, NegativeNumeral) {
     cells { int x = -5; }
     always guarantee { x < -1 -> [x <- x + 1]; }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   EXPECT_EQ(Spec->Cells[0].Init->value(), Rational(-5));
 }
 
@@ -284,27 +283,27 @@ TEST_F(ParserTest, AssumeBlockParsed) {
     always assume { ball >= c0(); ball <= c9(); }
     always guarantee { G (p < ball -> [p <- p + 1]); }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   ASSERT_EQ(Spec->Assumptions.size(), 2u);
   EXPECT_EQ(Spec->Assumptions[0]->str(), "(ball >= 0)");
 }
 
 TEST_F(ParserTest, MissingSemicolonFails) {
-  EXPECT_FALSE(parse("inputs { bool p } ").has_value());
+  EXPECT_FALSE(parse("inputs { bool p } ").ok());
 }
 
 TEST_F(ParserTest, UnbalancedParenFails) {
   EXPECT_FALSE(parse(R"(
     inputs { bool p; }
     always guarantee { (p && p; }
-  )").has_value());
+  )").ok());
 }
 
 TEST_F(ParserTest, UnterminatedUpdateFails) {
   EXPECT_FALSE(parse(R"(
     cells { int x; }
     always guarantee { [x <- x + 1; }
-  )").has_value());
+  )").ok());
 }
 
 TEST_F(ParserTest, UntilIsRightAssociative) {
@@ -312,7 +311,7 @@ TEST_F(ParserTest, UntilIsRightAssociative) {
     inputs { bool a, b, c; }
     always guarantee { a U b U c; }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   const Formula *F = Spec->AlwaysGuarantees[0];
   ASSERT_EQ(F->kind(), Formula::Kind::Until);
   EXPECT_EQ(F->rhs()->kind(), Formula::Kind::Until);
@@ -325,7 +324,7 @@ TEST_F(ParserTest, ComparisonChainsRejected) {
     inputs { int a, b, c; }
     always guarantee { a < b < c; }
   )");
-  EXPECT_FALSE(Spec.has_value());
+  EXPECT_FALSE(Spec.ok());
 }
 
 TEST_F(ParserTest, OpaqueEqualityAllowed) {
@@ -334,7 +333,7 @@ TEST_F(ParserTest, OpaqueEqualityAllowed) {
     cells { int x = 0; }
     always guarantee { G (t1 = t2 -> [x <- x + 1]); }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
 }
 
 TEST_F(ParserTest, MultiplicationParses) {
@@ -344,7 +343,7 @@ TEST_F(ParserTest, MultiplicationParses) {
     cells { int x = 0; }
     always guarantee { G (2 * a < x -> [x <- x]); }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
 }
 
 TEST_F(ParserTest, FunctionsWithArity) {
@@ -355,7 +354,7 @@ TEST_F(ParserTest, FunctionsWithArity) {
     functions { opaque g(opaque, opaque); }
     always guarantee { [y <- g a b]; }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   // Wrong arity fails.
   auto Bad = parse(R"(
     #UF#
@@ -364,7 +363,7 @@ TEST_F(ParserTest, FunctionsWithArity) {
     functions { opaque g(opaque, opaque); }
     always guarantee { [y <- g a]; }
   )");
-  EXPECT_FALSE(Bad.has_value());
+  EXPECT_FALSE(Bad.ok());
 }
 
 TEST_F(ParserTest, BenchmarkHeaderStyleComment) {
@@ -376,7 +375,7 @@ TEST_F(ParserTest, BenchmarkHeaderStyleComment) {
       G F [lfo <- True()];
     }
   )");
-  ASSERT_TRUE(Spec.has_value()) << Err.str();
+  ASSERT_TRUE(Spec.ok()) << Spec.error().str();
   EXPECT_EQ(Spec->Th, Theory::LRA);
 }
 

@@ -291,9 +291,8 @@ protected:
 TEST_P(TableauProperties, LogicalLaws) {
   Rng R(GetParam());
   Context Ctx;
-  ParseError Err;
-  auto Spec = parseSpecification("inputs { bool a, b; }", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value());
+  auto Spec = parseSpecification("inputs { bool a, b; }", Ctx);
+  ASSERT_TRUE(Spec.ok());
   std::vector<const Formula *> Atoms = {
       Ctx.Formulas.pred(Ctx.Terms.signal("a", Sort::Bool)),
       Ctx.Formulas.pred(Ctx.Terms.signal("b", Sort::Bool))};
@@ -380,9 +379,8 @@ class SimplifyProperties : public TableauProperties {};
 TEST_P(SimplifyProperties, SimplifyPreservesSatisfiability) {
   Rng R(GetParam() + 100);
   Context Ctx;
-  ParseError Err;
-  auto Spec = parseSpecification("inputs { bool a, b; }", Ctx, Err);
-  ASSERT_TRUE(Spec.has_value());
+  auto Spec = parseSpecification("inputs { bool a, b; }", Ctx);
+  ASSERT_TRUE(Spec.ok());
   std::vector<const Formula *> Atoms = {
       Ctx.Formulas.pred(Ctx.Terms.signal("a", Sort::Bool)),
       Ctx.Formulas.pred(Ctx.Terms.signal("b", Sort::Bool))};

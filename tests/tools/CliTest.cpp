@@ -81,6 +81,68 @@ TEST(Cli, SimulatesSteps) {
   EXPECT_NE(Lines[0].find("step 0: x="), std::string::npos);
 }
 
+TEST(Cli, EmitsJavaScriptViaEmitFlag) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--emit=js " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("function createController"), std::string::npos);
+}
+
+TEST(Cli, EmitsCppViaEmitFlag) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--emit=cpp " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("struct CounterController"), std::string::npos);
+}
+
+TEST(Cli, PrintsAssumptionsViaEmitFlag) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--emit=assumptions " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("X X (x = 2)"), std::string::npos);
+}
+
+TEST(Cli, EmitSummaryShowsSolverJobs) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--emit=summary " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("solver jobs:"), std::string::npos);
+  EXPECT_NE(Out.find("cache on"), std::string::npos);
+}
+
+TEST(Cli, JobsFlagSynthesizesSameSpec) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Serial, SerialOut] = runCli("--emit=assumptions --jobs 1 " + Path);
+  auto [Par, ParOut] = runCli("--emit=assumptions --jobs 4 " + Path);
+  EXPECT_EQ(Serial, 0);
+  EXPECT_EQ(Par, 0);
+  // Determinism guarantee: the emitted assumption list is byte-identical
+  // across thread counts.
+  EXPECT_EQ(SerialOut, ParOut);
+}
+
+TEST(Cli, NoCacheFlagDisablesCache) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--no-cache " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("cache off"), std::string::npos);
+  EXPECT_NE(Out.find("0 hits, 0 misses"), std::string::npos);
+}
+
+TEST(Cli, UnknownEmitValueFails) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--emit=fortran " + Path);
+  EXPECT_EQ(Code, 2);
+  (void)Out;
+}
+
+TEST(Cli, ZeroJobsFails) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Out] = runCli("--jobs 0 " + Path);
+  EXPECT_EQ(Code, 2);
+  (void)Out;
+}
+
 TEST(Cli, UnknownBenchmarkFails) {
   auto [Code, Out] = runCli("--benchmark NoSuchThing");
   EXPECT_NE(Code, 0);

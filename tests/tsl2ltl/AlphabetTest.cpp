@@ -13,9 +13,8 @@ namespace {
 class AlphabetTest : public ::testing::Test {
 protected:
   Specification parse(const std::string &Source) {
-    ParseError Err;
-    auto Spec = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    auto Spec = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << Spec.error().str();
     return *Spec;
   }
 
@@ -129,10 +128,9 @@ TEST_F(AlphabetTest, ExtraFormulasContributeAtoms) {
     always guarantee { [x <- x + 1] || [x <- x - 1]; }
   )");
   // An assumption mentioning a new predicate x = 2.
-  ParseError Err;
-  const Formula *Assumption =
-      parseFormula("x = 2 -> [x <- x + 1]", Spec, Ctx, Err);
-  ASSERT_NE(Assumption, nullptr) << Err.str();
+  auto AssumptionR = parseFormula("x = 2 -> [x <- x + 1]", Spec, Ctx);
+  ASSERT_TRUE(AssumptionR.ok()) << AssumptionR.error().str();
+  const Formula *Assumption = *AssumptionR;
   Alphabet AB = Alphabet::build(Spec, Ctx, {Assumption});
   EXPECT_EQ(AB.predicates().size(), 1u);
 }

@@ -13,9 +13,8 @@ namespace {
 class TlsfExporterTest : public ::testing::Test {
 protected:
   Specification parse(const std::string &Source) {
-    ParseError Err;
-    auto Spec = parseSpecification(Source, Ctx, Err);
-    EXPECT_TRUE(Spec.has_value()) << Err.str();
+    auto Spec = parseSpecification(Source, Ctx);
+    EXPECT_TRUE(Spec.ok()) << Spec.error().str();
     return *Spec;
   }
 
@@ -100,10 +99,10 @@ TEST_F(TlsfExporterTest, GeneratedAssumptionsIncluded) {
       x = 0 -> F (x = 2);
     }
   )");
-  ParseError Err;
-  const Formula *Psi = parseFormula(
-      "G (x = 0 && [x <- x + 1] -> X (x = 1))", Spec, Ctx, Err);
-  ASSERT_NE(Psi, nullptr) << Err.str();
+  auto PsiR = parseFormula(
+      "G (x = 0 && [x <- x + 1] -> X (x = 1))", Spec, Ctx);
+  ASSERT_TRUE(PsiR.ok()) << PsiR.error().str();
+  const Formula *Psi = *PsiR;
   Alphabet AB = Alphabet::build(Spec, Ctx, {Psi});
   std::string Tlsf = exportTlsf(Spec, AB, Ctx, {Psi});
   EXPECT_NE(Tlsf.find("ASSUMPTIONS {"), std::string::npos);
