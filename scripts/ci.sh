@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI ladder: tier-1 build + ctest, ThreadSanitizer on the
+# concurrency-sensitive tests, and a bounded differential-fuzz sweep.
+# Fails on the first broken rung. See docs/TESTING.md for the tier map.
+#
+# Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== tier 1: build + ctest =="
+cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== tier 5: ThreadSanitizer on the solver-service tests =="
+scripts/run_tsan.sh
+
+echo "== tier 3: differential fuzz sweep (500 iterations/oracle) =="
+"$BUILD_DIR/src/tools/temos-fuzz" --seed "${TEMOS_SEED:-1}" --iters 500
+
+echo "CI ladder green."

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates the golden-file corpus under tests/golden/ from the bundled
+# benchmarks. Run after an intentional change to assumption generation or
+# the summary format, review the diff, and commit the result:
+#
+#   scripts/regen_goldens.sh [path/to/temos]
+#
+# Summaries are normalized: wall/cpu timings vary per run and are
+# replaced by <T>s. Everything else (status, counts, machine size,
+# assumption text) is expected to be byte-stable; GoldenFileTest fails
+# when it drifts.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TEMOS="${1:-$REPO_ROOT/build/src/tools/temos}"
+OUT_DIR="$REPO_ROOT/tests/golden"
+
+if [ ! -x "$TEMOS" ]; then
+  echo "error: temos binary not found at $TEMOS (build first or pass a path)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+normalize_summary() {
+  sed -E 's/[0-9]+\.[0-9]+s/<T>s/g'
+}
+
+slugify() {
+  echo "$1" | tr 'A-Z' 'a-z' | tr ' -' '__'
+}
+
+"$TEMOS" --list | sed 's/ *(.*//' | while IFS= read -r NAME; do
+  SLUG="$(slugify "$NAME")"
+  echo "regenerating $SLUG (benchmark '$NAME')"
+  "$TEMOS" --benchmark "$NAME" --emit=assumptions \
+    > "$OUT_DIR/$SLUG.assumptions.golden"
+  "$TEMOS" --benchmark "$NAME" --emit=summary | normalize_summary \
+    > "$OUT_DIR/$SLUG.summary.golden"
+done
+
+echo "done: $(ls "$OUT_DIR" | grep -c '\.golden$') golden files in $OUT_DIR"

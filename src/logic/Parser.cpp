@@ -26,6 +26,7 @@ struct Token {
   TokenKind Kind = TokenKind::End;
   std::string Text;
   size_t Line = 1;
+  size_t Col = 1;
 
   bool is(TokenKind K) const { return Kind == K; }
   bool isPunct(const char *P) const {
@@ -44,13 +45,15 @@ public:
   bool hadError() const { return !ErrorMessage.empty(); }
   const std::string &errorMessage() const { return ErrorMessage; }
   size_t errorLine() const { return ErrorLine; }
+  size_t errorColumn() const { return ErrorCol; }
 
 private:
   void tokenize();
-  void fail(const std::string &Message) {
+  void fail(const std::string &Message, size_t Col) {
     if (ErrorMessage.empty()) {
       ErrorMessage = Message;
       ErrorLine = Line;
+      ErrorCol = Col;
     }
   }
 
@@ -59,11 +62,16 @@ private:
   std::string ErrorMessage;
   size_t Line = 1;
   size_t ErrorLine = 1;
+  size_t ErrorCol = 1;
 };
 
 void Lexer::tokenize() {
   size_t I = 0;
   const size_t N = Source.size();
+  // Offset of the first character of the current line; columns are
+  // 1-based offsets from it.
+  size_t LineStart = 0;
+  auto Col = [&](size_t Pos) { return Pos - LineStart + 1; };
   // Multi-character punctuation, longest first (maximal munch).
   static const char *MultiPunct[] = {"<->", "<-", "<=", ">=", "->", "&&",
                                      "||", "!=", "=="};
@@ -72,6 +80,7 @@ void Lexer::tokenize() {
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -90,7 +99,7 @@ void Lexer::tokenize() {
                        Source[I] == '_' || Source[I] == '\''))
         ++I;
       Tokens.push_back({TokenKind::Ident, Source.substr(Start, I - Start),
-                        Line});
+                        Line, Col(Start)});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(C))) {
@@ -99,14 +108,14 @@ void Lexer::tokenize() {
                        Source[I] == '.'))
         ++I;
       Tokens.push_back({TokenKind::Number, Source.substr(Start, I - Start),
-                        Line});
+                        Line, Col(Start)});
       continue;
     }
     bool Matched = false;
     for (const char *P : MultiPunct) {
       size_t Len = std::string(P).size();
       if (Source.compare(I, Len, P) == 0) {
-        Tokens.push_back({TokenKind::Punct, P, Line});
+        Tokens.push_back({TokenKind::Punct, P, Line, Col(I)});
         I += Len;
         Matched = true;
         break;
@@ -116,14 +125,14 @@ void Lexer::tokenize() {
       continue;
     static const std::string Single = "{}()[];,=<>+-*/!#";
     if (Single.find(C) != std::string::npos) {
-      Tokens.push_back({TokenKind::Punct, std::string(1, C), Line});
+      Tokens.push_back({TokenKind::Punct, std::string(1, C), Line, Col(I)});
       ++I;
       continue;
     }
-    fail(std::string("unexpected character '") + C + "'");
+    fail(std::string("unexpected character '") + C + "'", Col(I));
     return;
   }
-  Tokens.push_back({TokenKind::End, "", Line});
+  Tokens.push_back({TokenKind::End, "", Line, Col(I)});
 }
 
 //===----------------------------------------------------------------------===//
@@ -195,6 +204,7 @@ private:
   }
   bool expectPunct(const char *P);
   bool fail(const std::string &Message);
+  bool fail(const std::string &Message, const Token &At);
 
   // Declarations.
   bool parseHeader();
@@ -236,10 +246,16 @@ private:
   Specification Spec;
 };
 
-bool Parser::fail(const std::string &Message) {
+bool Parser::fail(const std::string &Message) { return fail(Message, peek()); }
+
+/// Anchors the diagnostic at \p At rather than the current token — used
+/// when the offending token was already consumed, so the error points at
+/// the culprit instead of whatever follows it.
+bool Parser::fail(const std::string &Message, const Token &At) {
   if (!Failed) {
     Failed = true;
-    Err.Line = peek().Line;
+    Err.Line = At.Line;
+    Err.Column = At.Col;
     Err.Message = Message;
   }
   return false;
@@ -267,7 +283,8 @@ bool Parser::parseHeader() {
   else if (Name.Text == "UF" || Name.Text == "TSL")
     Spec.Th = Theory::UF;
   else
-    return fail("unknown theory '" + Name.Text + "' (expected LIA/RA/UF)");
+    return fail("unknown theory '" + Name.Text + "' (expected LIA/RA/UF)",
+                Name);
   return expectPunct("#");
 }
 
@@ -278,7 +295,7 @@ bool Parser::parseSignalBlock(std::vector<SignalDecl> &Out) {
     Token SortTok = take();
     Sort S;
     if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, S))
-      return fail("expected sort name, found '" + SortTok.Text + "'");
+      return fail("expected sort name, found '" + SortTok.Text + "'", SortTok);
     do {
       Token Name = take();
       if (!Name.is(TokenKind::Ident))
@@ -298,7 +315,7 @@ bool Parser::parseCellBlock() {
     Token SortTok = take();
     Sort S;
     if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, S))
-      return fail("expected sort name, found '" + SortTok.Text + "'");
+      return fail("expected sort name, found '" + SortTok.Text + "'", SortTok);
     Token Name = take();
     if (!Name.is(TokenKind::Ident))
       return fail("expected cell name");
@@ -325,7 +342,7 @@ bool Parser::parseFunctionBlock() {
     Token SortTok = take();
     Sort Result;
     if (!SortTok.is(TokenKind::Ident) || !parseSort(SortTok.Text, Result))
-      return fail("expected sort name, found '" + SortTok.Text + "'");
+      return fail("expected sort name, found '" + SortTok.Text + "'", SortTok);
     Token Name = take();
     if (!Name.is(TokenKind::Ident))
       return fail("expected function name");
@@ -337,7 +354,7 @@ bool Parser::parseFunctionBlock() {
         Token P = take();
         Sort PS;
         if (!P.is(TokenKind::Ident) || !parseSort(P.Text, PS))
-          return fail("expected parameter sort");
+          return fail("expected parameter sort", P);
         Params.push_back(PS);
       } while (acceptPunct(","));
     }
@@ -368,6 +385,7 @@ bool Parser::parseFormulaBlock(std::vector<const Formula *> &Out) {
 std::optional<Specification> Parser::parseSpec() {
   if (Lex.hadError()) {
     Err.Line = Lex.errorLine();
+    Err.Column = Lex.errorColumn();
     Err.Message = Lex.errorMessage();
     return std::nullopt;
   }
@@ -418,6 +436,7 @@ std::optional<Specification> Parser::parseSpec() {
 const Formula *Parser::parseSingleFormula(const Specification &Against) {
   if (Lex.hadError()) {
     Err.Line = Lex.errorLine();
+    Err.Column = Lex.errorColumn();
     Err.Message = Lex.errorMessage();
     return nullptr;
   }
@@ -708,7 +727,7 @@ const Term *Parser::parseArgumentTerm() {
     take();
     Rational Value;
     if (!Rational::parse(T.Text, Value)) {
-      fail("malformed numeral '" + T.Text + "'");
+      fail("malformed numeral '" + T.Text + "'", T);
       return nullptr;
     }
     Sort S = Value.isInteger() ? numeralSort() : Sort::Real;
@@ -733,7 +752,7 @@ const Term *Parser::parseArgumentTerm() {
     }
     if (auto S = Spec.signalSort(Name.Text))
       return Ctx.Terms.signal(Name.Text, *S);
-    fail("unknown signal '" + Name.Text + "'");
+    fail("unknown signal '" + Name.Text + "'", Name);
     return nullptr;
   }
   fail("expected a term, found '" + T.Text + "'");
@@ -762,7 +781,8 @@ ExprValue Parser::parsePrimary() {
       return {};
     }
     if (!Spec.isUpdatable(Cell.Text)) {
-      fail("'" + Cell.Text + "' is not a cell or output; cannot be updated");
+      fail("'" + Cell.Text + "' is not a cell or output; cannot be updated",
+           Cell);
       return {};
     }
     if (!expectPunct("<-"))
@@ -833,7 +853,7 @@ ExprValue Parser::parsePrimary() {
     if (Args.empty()) {
       // A bare unknown identifier is an undeclared signal, not a nullary
       // constant: constants require the explicit "name()" call syntax.
-      fail("unknown signal '" + Name.Text + "'");
+      fail("unknown signal '" + Name.Text + "'", Name);
       return {};
     }
     const Term *App = applyFunction(Name.Text, Args);

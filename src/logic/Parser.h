@@ -34,13 +34,19 @@
 
 namespace temos {
 
-/// A parse failure with 1-based source line information.
+/// A parse failure with 1-based source line/column information.
 struct ParseError {
   size_t Line = 0;
+  /// 1-based column of the offending token; 0 when unknown (kept for
+  /// errors constructed before column tracking existed).
+  size_t Column = 0;
   std::string Message;
 
   std::string str() const {
-    return "line " + std::to_string(Line) + ": " + Message;
+    std::string Out = "line " + std::to_string(Line);
+    if (Column != 0)
+      Out += ", col " + std::to_string(Column);
+    return Out + ": " + Message;
   }
 };
 

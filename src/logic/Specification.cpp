@@ -60,6 +60,8 @@ const Formula *Specification::toFormula(Context &Ctx) const {
 
 std::string Specification::str() const {
   std::string Out = "#" + std::string(theoryName(Th)) + "#\n";
+  if (Name != "spec")
+    Out += "spec " + Name + "\n";
   auto EmitSignals = [&](const char *Block,
                          const std::vector<SignalDecl> &Decls) {
     if (Decls.empty())
@@ -81,6 +83,16 @@ std::string Specification::str() const {
     Out += "}\n";
   }
   EmitSignals("outputs", Outputs);
+  if (!Functions.empty()) {
+    Out += "functions {\n";
+    for (const FunctionDecl &D : Functions) {
+      Out += "  " + std::string(sortName(D.Result)) + " " + D.Name + "(";
+      for (size_t I = 0; I < D.Params.size(); ++I)
+        Out += std::string(I ? ", " : "") + sortName(D.Params[I]);
+      Out += ");\n";
+    }
+    Out += "}\n";
+  }
   auto EmitFormulas = [&](const char *Block,
                           const std::vector<const Formula *> &Fs) {
     if (Fs.empty())

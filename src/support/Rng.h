@@ -1,0 +1,81 @@
+//===- support/Rng.h - Deterministic PRNG for tests and fuzzing *- C++ -*-===//
+///
+/// \file
+/// A small deterministic xorshift PRNG shared by the property tests and
+/// the differential fuzzing harness (tools/fuzz). Determinism is the
+/// whole point: every failure reproduces from the printed seed, so the
+/// generator must be stable across platforms and build types -- no
+/// std::random_device, no unseeded state.
+///
+/// resolveSeed() implements the TEMOS_SEED environment knob: test
+/// binaries combine their built-in per-suite seeds with the override so
+/// a failure printed as "TEMOS_SEED=12345" reruns identically via
+/// `TEMOS_SEED=12345 ctest -R ...`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_SUPPORT_RNG_H
+#define TEMOS_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace temos {
+
+/// Deterministic xorshift64 PRNG. Identical sequences for identical
+/// seeds, on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform-ish value in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(int Percent) { return range(0, 99) < Percent; }
+
+  /// A uniformly chosen element of \p Options (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Options) {
+    return Options[static_cast<size_t>(range(
+        0, static_cast<int64_t>(Options.size()) - 1))];
+  }
+
+private:
+  uint64_t State;
+};
+
+/// The effective seed for a randomized test or fuzz run: the TEMOS_SEED
+/// environment variable when set (and parseable), otherwise \p Fallback.
+inline uint64_t resolveSeed(uint64_t Fallback) {
+  if (const char *Env = std::getenv("TEMOS_SEED")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Env, &End, 10);
+    if (End != Env && *End == '\0')
+      return static_cast<uint64_t>(V);
+  }
+  return Fallback;
+}
+
+/// Mixes a per-suite salt into a base seed so different test suites
+/// driven by one TEMOS_SEED value still explore different streams.
+inline uint64_t mixSeed(uint64_t Base, uint64_t Salt) {
+  uint64_t X = Base + 0x9e3779b97f4a7c15ull * (Salt + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  return X;
+}
+
+} // namespace temos
+
+#endif // TEMOS_SUPPORT_RNG_H

@@ -6,6 +6,7 @@
 #include "theory/Simplex.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -411,25 +412,29 @@ SatResult SmtSolver::theoryCheck(const std::vector<TheoryLiteral> &Literals,
             Value::number(It != NumericModel.end() ? It->second : Rational(0));
       }
     }
-    // Boolean and opaque signals from the EUF side.
-    for (const TheoryLiteral &L : Literals) {
-      std::map<std::string, Sort> Signals;
-      collectTypedSignals(L.Atom, Signals);
-      for (const auto &[Name, SignalSort] : Signals) {
-        if (Model->count(Name))
-          continue;
-        if (SignalSort == Sort::Bool) {
-          // Use the literal polarity when the atom is the bare signal;
-          // otherwise default to false.
-          bool ValueBit = false;
-          if (L.Atom->isSignal() && L.Atom->name() == Name)
-            ValueBit = L.Positive;
-          (*Model)[Name] = Value::boolean(ValueBit);
-        } else if (SignalSort == Sort::Opaque) {
-          (*Model)[Name] = Value::symbol("@" + Name);
+    // Boolean and opaque signals from the EUF side. Values must respect
+    // the congruence classes: signals asserted equal (directly or via
+    // congruence) get the same symbol, and boolean signals take the
+    // truth marker their class was merged with, so the returned model
+    // actually satisfies the EUF literals it came from.
+    std::map<const Term *, std::string> ClassSymbol;
+    std::function<void(const Term *)> AssignEuf = [&](const Term *T) {
+      if (T->isSignal() && !Model->count(T->name())) {
+        if (T->sort() == Sort::Bool) {
+          (*Model)[T->name()] = Value::boolean(CC.areEqual(T, TrueMark));
+        } else if (T->sort() == Sort::Opaque) {
+          const Term *Rep = CC.find(T);
+          auto It = ClassSymbol.find(Rep);
+          if (It == ClassSymbol.end())
+            It = ClassSymbol.emplace(Rep, "@" + T->name()).first;
+          (*Model)[T->name()] = Value::symbol(It->second);
         }
       }
-    }
+      for (const Term *Arg : T->args())
+        AssignEuf(Arg);
+    };
+    for (const TheoryLiteral &L : Literals)
+      AssignEuf(L.Atom);
   }
   return SatResult::Sat;
 }

@@ -1,0 +1,54 @@
+//===- tools/fuzz/Shrinker.h - Greedy repro minimization -------*- C++ -*-===//
+///
+/// \file
+/// Greedy shrinking of failing fuzz cases: repeatedly tries simpler
+/// variants (drop a conjunct, shrink a constant toward zero, replace a
+/// compound subterm by one of its arguments, drop a source line) and
+/// keeps any variant for which the caller's predicate still reports the
+/// failure. Deterministic and bounded, so shrinking itself reproduces
+/// from the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEMOS_TOOLS_FUZZ_SHRINKER_H
+#define TEMOS_TOOLS_FUZZ_SHRINKER_H
+
+#include "theory/SmtSolver.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace temos {
+namespace fuzz {
+
+/// Returns true when the candidate still demonstrates the failure being
+/// minimized. The predicate must be deterministic.
+using LiteralsPredicate =
+    std::function<bool(const std::vector<TheoryLiteral> &)>;
+using SourcePredicate = std::function<bool(const std::string &)>;
+
+/// Structurally simpler variants of \p T, most aggressive first:
+/// numerals move toward zero, compound arithmetic collapses to an
+/// argument, comparisons shrink on either side. Capped; allocates into
+/// \p TF. Exposed for the shrinker unit tests.
+std::vector<const Term *> simplerTermVariants(TermFactory &TF, const Term *T);
+
+/// Minimizes a literal conjunction while \p StillFails holds. Tries, to
+/// a fixpoint: dropping literals, making negative literals positive,
+/// and substituting simpler atom variants.
+std::vector<TheoryLiteral> shrinkLiterals(TermFactory &TF,
+                                          std::vector<TheoryLiteral> Case,
+                                          const LiteralsPredicate &StillFails,
+                                          unsigned MaxRounds = 400);
+
+/// Minimizes a multi-line source text while \p StillFails holds. Tries,
+/// to a fixpoint: dropping single lines, dropping whole `{...}` blocks,
+/// and shrinking integer tokens toward zero.
+std::string shrinkSource(std::string Source, const SourcePredicate &StillFails,
+                         unsigned MaxRounds = 400);
+
+} // namespace fuzz
+} // namespace temos
+
+#endif // TEMOS_TOOLS_FUZZ_SHRINKER_H

@@ -1,0 +1,141 @@
+//===- tests/fuzz/ShrinkerTest.cpp - Greedy shrinker units ----------------===//
+
+#include "tools/fuzz/Shrinker.h"
+
+#include "logic/Term.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace temos;
+using namespace temos::fuzz;
+
+namespace {
+
+class ShrinkerTest : public ::testing::Test {
+protected:
+  const Term *sig(const std::string &Name, Sort S = Sort::Int) {
+    return Ctx.Terms.signal(Name, S);
+  }
+  const Term *num(int64_t V) { return Ctx.Terms.numeral(V); }
+  const Term *app(const std::string &F, Sort S,
+                  std::vector<const Term *> Args) {
+    return Ctx.Terms.apply(F, S, Args);
+  }
+
+  bool contains(const std::vector<const Term *> &Variants, const Term *T) {
+    return std::find(Variants.begin(), Variants.end(), T) != Variants.end();
+  }
+
+  Context Ctx;
+};
+
+TEST_F(ShrinkerTest, NumeralsShrinkTowardZero) {
+  auto Variants = simplerTermVariants(Ctx.Terms, num(8));
+  EXPECT_TRUE(contains(Variants, num(0)));
+  EXPECT_TRUE(contains(Variants, num(4)));
+  EXPECT_FALSE(contains(Variants, num(8))) << "a variant must be simpler";
+}
+
+TEST_F(ShrinkerTest, ZeroHasNoVariants) {
+  EXPECT_TRUE(simplerTermVariants(Ctx.Terms, num(0)).empty());
+}
+
+TEST_F(ShrinkerTest, CompoundTermCollapsesToArguments) {
+  const Term *X = sig("x");
+  const Term *Sum = app("+", Sort::Int, {X, num(3)});
+  auto Variants = simplerTermVariants(Ctx.Terms, Sum);
+  EXPECT_TRUE(contains(Variants, X));
+}
+
+TEST_F(ShrinkerTest, ComparisonShrinksOnEitherSide) {
+  const Term *X = sig("x");
+  const Term *Cmp = app("<", Sort::Bool, {app("+", Sort::Int, {X, num(1)}),
+                                          num(6)});
+  auto Variants = simplerTermVariants(Ctx.Terms, Cmp);
+  // Left side collapsed to its argument.
+  EXPECT_TRUE(contains(Variants, app("<", Sort::Bool, {X, num(6)})));
+  // Right side moved toward zero.
+  EXPECT_TRUE(contains(
+      Variants, app("<", Sort::Bool, {app("+", Sort::Int, {X, num(1)}),
+                                      num(0)})));
+}
+
+TEST_F(ShrinkerTest, ShrinkLiteralsDropsIrrelevantConjuncts) {
+  const Term *X = sig("x");
+  const Term *Y = sig("y");
+  std::vector<TheoryLiteral> Case = {
+      {app("<", Sort::Bool, {X, num(5)}), true},
+      {app("<", Sort::Bool, {Y, num(7)}), true},
+      {app("=", Sort::Bool, {X, num(2)}), false},
+  };
+  // The "failure" only needs some literal mentioning y.
+  auto StillFails = [&](const std::vector<TheoryLiteral> &Ls) {
+    for (const TheoryLiteral &L : Ls)
+      for (const Term *Arg : L.Atom->args())
+        if (Arg == Y)
+          return true;
+    return false;
+  };
+  auto Shrunk = shrinkLiterals(Ctx.Terms, Case, StillFails);
+  ASSERT_EQ(Shrunk.size(), 1u);
+  EXPECT_EQ(Shrunk[0].Atom->args()[0], Y);
+  EXPECT_TRUE(StillFails(Shrunk));
+}
+
+TEST_F(ShrinkerTest, ShrinkLiteralsPrefersPositiveLiterals) {
+  const Term *X = sig("x");
+  std::vector<TheoryLiteral> Case = {{app("<", Sort::Bool, {X, num(5)}),
+                                      false}};
+  auto StillFails = [&](const std::vector<TheoryLiteral> &Ls) {
+    return !Ls.empty();
+  };
+  auto Shrunk = shrinkLiterals(Ctx.Terms, Case, StillFails);
+  ASSERT_EQ(Shrunk.size(), 1u);
+  EXPECT_TRUE(Shrunk[0].Positive);
+}
+
+TEST_F(ShrinkerTest, ShrinkLiteralsNeverReturnsAPassingCase) {
+  const Term *X = sig("x");
+  std::vector<TheoryLiteral> Case = {
+      {app("<", Sort::Bool, {X, num(5)}), true},
+      {app(">", Sort::Bool, {X, num(3)}), true},
+  };
+  // Failure requires both literals: the shrinker must keep them.
+  auto StillFails = [](const std::vector<TheoryLiteral> &Ls) {
+    return Ls.size() >= 2;
+  };
+  EXPECT_EQ(shrinkLiterals(Ctx.Terms, Case, StillFails).size(), 2u);
+}
+
+TEST_F(ShrinkerTest, ShrinkSourceDropsIrrelevantLines) {
+  std::string Source = "aaa\nkeep this line\nbbb\nccc\n";
+  auto StillFails = [](const std::string &S) {
+    return S.find("keep") != std::string::npos;
+  };
+  std::string Shrunk = shrinkSource(Source, StillFails);
+  EXPECT_NE(Shrunk.find("keep"), std::string::npos);
+  EXPECT_EQ(Shrunk.find("aaa"), std::string::npos);
+  EXPECT_EQ(Shrunk.find("bbb"), std::string::npos);
+  EXPECT_EQ(Shrunk.find("ccc"), std::string::npos);
+}
+
+TEST_F(ShrinkerTest, ShrinkSourceShrinksIntegerTokens) {
+  std::string Source = "x = 90071;\n";
+  auto StillFails = [](const std::string &S) {
+    return S.find("x = ") != std::string::npos;
+  };
+  std::string Shrunk = shrinkSource(Source, StillFails);
+  EXPECT_NE(Shrunk.find("x = 0"), std::string::npos) << Shrunk;
+}
+
+TEST_F(ShrinkerTest, ShrinkSourceIsDeterministic) {
+  std::string Source = "one\ntwo\nthree\nkeep\nfour\n";
+  auto StillFails = [](const std::string &S) {
+    return S.find("keep") != std::string::npos;
+  };
+  EXPECT_EQ(shrinkSource(Source, StillFails), shrinkSource(Source, StillFails));
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+//===- tests/logic/DiagnosticsTest.cpp - Parse diagnostic quality ---------===//
+///
+/// \file
+/// Table-driven checks that ParseError carries the right 1-based
+/// line/column and a message naming the culprit, for a spread of
+/// malformed specifications. Columns anchor on the offending token, not
+/// on whatever the parser happened to be looking at when it noticed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace temos;
+
+namespace {
+
+struct DiagnosticCase {
+  const char *Label;
+  const char *Source;
+  size_t Line;
+  size_t Column;
+  /// Substring the message must contain (full messages stay free to
+  /// gain detail without churning this table).
+  const char *MessagePart;
+};
+
+const DiagnosticCase Cases[] = {
+    {"unknown-theory", "#XYZ#", 1, 2, "unknown theory 'XYZ'"},
+    {"missing-theory-name", "#", 1, 2, "expected theory name after '#'"},
+    {"unexpected-character",
+     "inputs { bool p; }\nalways guarantee {\n  p $ p;\n}", 3, 5,
+     "unexpected character '$'"},
+    {"missing-semicolon", "inputs { bool p }", 1, 17,
+     "expected ';' but found '}'"},
+    {"bad-sort", "inputs { integer x; }", 1, 10,
+     "expected sort name, found 'integer'"},
+    {"update-of-non-cell",
+     "inputs { int x; }\ncells { int c; }\nalways guarantee { [y <- x]; }", 3,
+     21, "'y' is not a cell or output"},
+    {"unknown-signal", "inputs { bool p; }\nalways guarantee {\n  q;\n}", 3, 3,
+     "unknown signal 'q'"},
+    {"unknown-function", "inputs { bool p; }\nalways guarantee { foo p; }", 2,
+     25, "unknown function 'foo'"},
+    {"builtin-arity", "inputs { int x; }\nalways guarantee { lt x; }", 2, 24,
+     "builtin '<' expects 2 arguments, got 1"},
+    {"malformed-numeral", "inputs { int x; }\nalways guarantee { x < 1.2.3; }",
+     2, 24, "malformed numeral '1.2.3'"},
+    {"term-as-formula", "inputs { int x; }\nalways guarantee { x; }", 2, 21,
+     "term 'x' used as a formula but has sort int"},
+    {"always-without-block-kind", "always foo { }", 1, 8,
+     "expected 'assume' or 'guarantee' after 'always'"},
+    {"stray-toplevel-ident", "bogus", 1, 1,
+     "expected a block keyword, found 'bogus'"},
+    {"dangling-comparison", "inputs { int x; }\nalways guarantee { x < ; }", 2,
+     24, "expected a formula or term, found ';'"},
+    {"spec-without-name", "spec", 1, 5,
+     "expected specification name after 'spec'"},
+    {"bad-parameter-sort", "functions { bool f(; }", 1, 20,
+     "expected parameter sort"},
+};
+
+TEST(DiagnosticsTest, MalformedSpecsReportPreciseLocations) {
+  for (const DiagnosticCase &C : Cases) {
+    SCOPED_TRACE(C.Label);
+    Context Ctx;
+    auto Spec = parseSpecification(C.Source, Ctx);
+    ASSERT_FALSE(Spec.ok()) << "expected a parse failure";
+    const ParseError &Err = Spec.error();
+    EXPECT_EQ(Err.Line, C.Line);
+    EXPECT_EQ(Err.Column, C.Column);
+    EXPECT_NE(Err.Message.find(C.MessagePart), std::string::npos)
+        << "message was: " << Err.Message;
+  }
+}
+
+TEST(DiagnosticsTest, StrIncludesLineAndColumn) {
+  Context Ctx;
+  auto Spec = parseSpecification("#XYZ#", Ctx);
+  ASSERT_FALSE(Spec.ok());
+  EXPECT_EQ(Spec.error().str(),
+            "line 1, col 2: unknown theory 'XYZ' (expected LIA/RA/UF)");
+}
+
+TEST(DiagnosticsTest, ColumnZeroOmittedFromStr) {
+  ParseError Err;
+  Err.Line = 7;
+  Err.Message = "legacy error";
+  EXPECT_EQ(Err.str(), "line 7: legacy error");
+}
+
+TEST(DiagnosticsTest, FormulaParseCarriesLocation) {
+  Context Ctx;
+  auto Spec = parseSpecification("inputs { bool p; }", Ctx);
+  ASSERT_TRUE(Spec.ok());
+  auto F = parseFormula("p && nope", *Spec, Ctx);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.error().Line, 1u);
+  EXPECT_EQ(F.error().Column, 6u);
+  EXPECT_NE(F.error().Message.find("unknown signal 'nope'"),
+            std::string::npos);
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 #include "automata/Tableau.h"
 #include "logic/Simplify.h"
 #include "logic/Parser.h"
+#include "support/Rng.h"
 #include "sygus/SygusSolver.h"
 #include "theory/Evaluator.h"
 #include "theory/Simplex.h"
@@ -27,23 +28,13 @@ using namespace temos;
 
 namespace {
 
-/// Small deterministic PRNG (xorshift) so failures reproduce.
-class Rng {
-public:
-  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
-  uint64_t next() {
-    State ^= State << 13;
-    State ^= State >> 7;
-    State ^= State << 17;
-    return State;
-  }
-  int64_t range(int64_t Lo, int64_t Hi) {
-    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
-  }
-
-private:
-  uint64_t State;
-};
+/// Effective seed for one parameterized case: the suite's built-in
+/// parameter unless the TEMOS_SEED environment variable overrides it.
+/// Callers wrap it in SCOPED_TRACE so every failure names the exact
+/// rerun command.
+uint64_t caseSeed(int64_t Param) {
+  return resolveSeed(static_cast<uint64_t>(Param));
+}
 
 //===----------------------------------------------------------------------===//
 // Rational field axioms.
@@ -52,7 +43,9 @@ private:
 class RationalProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(RationalProperties, FieldAxioms) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   for (int I = 0; I < 200; ++I) {
     Rational A(R.range(-50, 50), R.range(1, 20));
     Rational B(R.range(-50, 50), R.range(1, 20));
@@ -149,7 +142,9 @@ protected:
 };
 
 TEST_P(NnfProperties, NnfPreservesTruth) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   TermFactory TF;
   FormulaFactory FF;
   std::vector<const Formula *> Atoms;
@@ -190,7 +185,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NnfProperties, ::testing::Values(7, 8, 9));
 class SmtProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(SmtProperties, AgreesWithBruteForce) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   TermFactory TF;
   const Term *X = TF.signal("x", Sort::Int);
   const Term *Y = TF.signal("y", Sort::Int);
@@ -289,7 +286,9 @@ protected:
 };
 
 TEST_P(TableauProperties, LogicalLaws) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   Context Ctx;
   auto Spec = parseSpecification("inputs { bool a, b; }", Ctx);
   ASSERT_TRUE(Spec.ok());
@@ -331,7 +330,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TableauProperties,
 class SygusProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(SygusProperties, VerifiedProgramsHoldOnConcreteRuns) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   Context Ctx;
   const Term *X = Ctx.Terms.signal("x", Sort::Int);
   const Term *Inc = Ctx.Terms.apply("+", Sort::Int, {X, Ctx.Terms.numeral(1)});
@@ -377,7 +378,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SygusProperties,
 class SimplifyProperties : public TableauProperties {};
 
 TEST_P(SimplifyProperties, SimplifyPreservesSatisfiability) {
-  Rng R(GetParam() + 100);
+  const uint64_t Seed = caseSeed(GetParam() + 100);
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   Context Ctx;
   auto Spec = parseSpecification("inputs { bool a, b; }", Ctx);
   ASSERT_TRUE(Spec.ok());
@@ -412,7 +415,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperties,
 class VerifierProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(VerifierProperties, SequentialVerifierMatchesBruteForce) {
-  Rng R(GetParam());
+  const uint64_t Seed = caseSeed(GetParam());
+  SCOPED_TRACE(::testing::Message() << "reproduce with TEMOS_SEED=" << Seed);
+  Rng R(Seed);
   Context Ctx;
   const Term *X = Ctx.Terms.signal("x", Sort::Int);
   const Term *Inc = Ctx.Terms.apply("+", Sort::Int, {X, Ctx.Terms.numeral(1)});

@@ -25,6 +25,23 @@ std::pair<int, std::string> runCli(const std::string &Args) {
   return {WEXITSTATUS(Status), Out};
 }
 
+/// Runs the CLI with \p Args; returns (exit code, stderr). stdout is
+/// discarded — used for warning/diagnostic assertions, which the tool
+/// prints to stderr so piped output stays clean.
+std::pair<int, std::string> runCliStderr(const std::string &Args) {
+  std::string Command = std::string(TEMOS_CLI_PATH) + " " + Args +
+                        " 2>&1 1>/dev/null";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return {-1, ""};
+  std::string Out;
+  char Buffer[512];
+  while (fgets(Buffer, sizeof(Buffer), Pipe))
+    Out += Buffer;
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Out};
+}
+
 std::string writeSpec(const std::string &Name, const std::string &Body) {
   std::string Path = ::testing::TempDir() + "/" + Name;
   std::ofstream Out(Path);
@@ -100,6 +117,45 @@ TEST(Cli, PrintsAssumptionsViaEmitFlag) {
   auto [Code, Out] = runCli("--emit=assumptions " + Path);
   EXPECT_EQ(Code, 0);
   EXPECT_NE(Out.find("X X (x = 2)"), std::string::npos);
+}
+
+TEST(Cli, DeprecatedFlagsWarnOnStderr) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  struct {
+    const char *Flag;
+    const char *Replacement;
+  } Cases[] = {
+      {"--js", "--emit=js"},
+      {"--cpp", "--emit=cpp"},
+      {"--assumptions", "--emit=assumptions"},
+  };
+  for (const auto &C : Cases) {
+    SCOPED_TRACE(C.Flag);
+    auto [Code, Err] = runCliStderr(std::string(C.Flag) + " " + Path);
+    EXPECT_EQ(Code, 0);
+    EXPECT_NE(Err.find(std::string("warning: ") + C.Flag +
+                       " is deprecated, use " + C.Replacement),
+              std::string::npos)
+        << "stderr was: " << Err;
+  }
+}
+
+TEST(Cli, EmitFlagDoesNotWarn) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Err] = runCliStderr("--emit=js " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_EQ(Err.find("deprecated"), std::string::npos) << "stderr was: "
+                                                       << Err;
+}
+
+TEST(Cli, ParseErrorOnStderrNamesLineAndColumn) {
+  std::string Path = writeSpec("cli_badcol.tslmt",
+                               "inputs { bool p; }\nalways guarantee {\n"
+                               "  q;\n}\n");
+  auto [Code, Err] = runCliStderr(Path);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Err.find("line 3, col 3: unknown signal 'q'"), std::string::npos)
+      << "stderr was: " << Err;
 }
 
 TEST(Cli, EmitSummaryShowsSolverJobs) {
