@@ -13,18 +13,37 @@
 #ifndef TEMOS_BENCH_FIG4COMMON_H
 #define TEMOS_BENCH_FIG4COMMON_H
 
+#include "benchmarks/BenchJson.h"
 #include "benchmarks/Runner.h"
 #include "core/AssumptionCore.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace temos {
 
-/// Runs the Fig. 4 panel for \p Family. Returns the process exit code.
-inline int runFig4Family(const std::string &Family) {
+/// Runs the Fig. 4 panel for \p Family. The argv vector (forwarded from
+/// main) may carry --bench-json[=DIR] to also write one temos-bench-v1
+/// record per benchmark. Returns the process exit code.
+inline int runFig4Family(const std::string &Family, int argc = 0,
+                         char **argv = nullptr) {
+  bool BenchJsonWanted = false;
+  std::string BenchJsonDir;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--bench-json") == 0) {
+      BenchJsonWanted = true;
+    } else if (std::strncmp(argv[I], "--bench-json=", 13) == 0) {
+      BenchJsonWanted = true;
+      BenchJsonDir = argv[I] + 13;
+    } else {
+      std::fprintf(stderr, "usage: %s [--bench-json[=DIR]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Fig. 4 (%s): synthesis times vs oracle ===\n\n",
               Family.c_str());
   std::printf("%-14s %10s %10s %10s %12s %7s\n", "Benchmark", "SyGuS(s)",
@@ -36,6 +55,16 @@ inline int runFig4Family(const std::string &Family) {
     if (Family != B.Family)
       continue;
     BenchmarkRun Run = runBenchmark(B);
+    if (BenchJsonWanted) {
+      size_t States =
+          Run.Result.Machine ? Run.Result.Machine->stateCount() : 0;
+      std::string Json =
+          benchJson(B.Name, Run.Result.Status, 1, true, Run.Result.Stats,
+                    States, Run.Row.SynthesizedLoc);
+      if (writeBenchJson(BenchJsonDir, B.Name, Json).empty())
+        std::fprintf(stderr, "warning: cannot write bench JSON for %s\n",
+                     B.Name);
+    }
     if (Run.Row.Status != Realizability::Realizable) {
       std::printf("%-14s synthesis FAILED\n", B.Name);
       ++Failures;

@@ -9,4 +9,6 @@
 
 #include "Fig4Common.h"
 
-int main() { return temos::runFig4Family("CPU Scheduler"); }
+int main(int argc, char **argv) {
+  return temos::runFig4Family("CPU Scheduler", argc, argv);
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a temos-bench-v1 record and gate on perf regressions.
+
+Usage: check_bench_json.py CURRENT.json [BASELINE.json]
+
+Checks that CURRENT.json has the temos-bench-v1 shape, that the run was
+realizable, and -- when the record carries a "repeat" object -- that the
+incremental engine's cross-run reuse actually fired (nba_cache.hits > 0
+and no slower game phase than the cold run).
+
+With BASELINE.json, also fails if the current synthesis wall time
+regresses by more than 25% against the baseline. Timings below a 0.25s
+floor are never compared: at that scale the noise dwarfs the signal, so
+a freshly recorded tiny baseline can't flake the gate.
+"""
+
+import json
+import sys
+
+REGRESSION_SLACK = 1.25
+FLOOR_SECONDS = 0.25
+
+REQUIRED_KEYS = [
+    "schema", "name", "status", "jobs", "cache", "spec", "phases",
+    "refinements", "reactive_runs", "game_states", "smt_cache",
+    "nba_cache", "expansion_cache", "reactive", "machine_states", "js_loc",
+]
+PHASE_KEYS = ["psi_gen_wall_s", "psi_gen_cpu_s", "synthesis_wall_s",
+              "synthesis_cpu_s"]
+REACTIVE_KEYS = ["round", "status", "bound", "nba_cache_hit",
+                 "arena_states_reused", "game_states", "nba_wall_s",
+                 "game_wall_s"]
+
+
+def fail(message):
+    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_shape(doc):
+    if doc.get("schema") != "temos-bench-v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            fail(f"missing key {key!r}")
+    for key in PHASE_KEYS:
+        if not isinstance(doc["phases"].get(key), (int, float)):
+            fail(f"phases.{key} missing or not a number")
+    if not isinstance(doc["reactive"], list) or not doc["reactive"]:
+        fail("reactive array missing or empty")
+    for entry in doc["reactive"]:
+        for key in REACTIVE_KEYS:
+            if key not in entry:
+                fail(f"reactive entry missing {key!r}")
+    if doc["status"] != "realizable":
+        fail(f"run was {doc['status']}, expected realizable")
+
+
+def check_repeat(doc):
+    repeat = doc.get("repeat")
+    if repeat is None:
+        return
+    if repeat["nba_cache"]["hits"] < 1:
+        fail("repeat run had no NBA cache hits: incremental reuse is dead")
+    if not all(r["nba_cache_hit"] for r in repeat["reactive"]):
+        fail("a repeat reactive invocation missed the NBA cache")
+    cold = sum(r["game_wall_s"] for r in doc["reactive"])
+    warm = sum(r["game_wall_s"] for r in repeat["reactive"])
+    if cold >= FLOOR_SECONDS and warm > cold * REGRESSION_SLACK:
+        fail(f"repeat game phase slower than cold run "
+             f"({warm:.3f}s vs {cold:.3f}s)")
+
+
+def check_baseline(doc, baseline):
+    current = doc["phases"]["synthesis_wall_s"]
+    reference = baseline["phases"]["synthesis_wall_s"]
+    if max(current, reference) < FLOOR_SECONDS:
+        print(f"check_bench_json: baseline compare skipped "
+              f"({current:.3f}s vs {reference:.3f}s, below "
+              f"{FLOOR_SECONDS}s floor)")
+        return
+    if current > max(reference * REGRESSION_SLACK, FLOOR_SECONDS):
+        fail(f"synthesis wall time regressed: {current:.3f}s vs "
+             f"baseline {reference:.3f}s "
+             f"(limit {REGRESSION_SLACK:.2f}x)")
+    print(f"check_bench_json: perf ok ({current:.3f}s vs "
+          f"baseline {reference:.3f}s)")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        doc = json.load(handle)
+    check_shape(doc)
+    check_repeat(doc)
+    if len(argv) == 3:
+        with open(argv[2]) as handle:
+            baseline = json.load(handle)
+        check_shape(baseline)
+        check_baseline(doc, baseline)
+    print(f"check_bench_json: {doc['name']} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

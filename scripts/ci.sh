@@ -14,6 +14,15 @@ cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+echo "== bench smoke: incremental-engine reuse + perf gate =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+TEMOS_BIN="$(cd "$BUILD_DIR" && pwd)/src/tools/temos"
+(cd "$SMOKE_DIR" &&
+  "$TEMOS_BIN" --benchmark Vibrato --repeat 2 --bench-json >/dev/null)
+python3 scripts/check_bench_json.py "$SMOKE_DIR/BENCH_Vibrato.json" \
+  bench/baselines/BENCH_Vibrato.baseline.json
+
 echo "== tier 5: ThreadSanitizer on the solver-service tests =="
 scripts/run_tsan.sh
 

@@ -36,16 +36,17 @@ struct Branch {
   std::vector<std::pair<const Formula *, bool>> Literals;
   /// Obligations for the next step.
   std::set<const Formula *> Next;
-  /// Bit u set = this branch defers acceptance formula u.
-  uint64_t DeferMask = 0;
+  /// Until/Finally formulas this branch defers (postpones satisfying).
+  /// Kept as formulas rather than acceptance-set bits so an expansion is
+  /// meaningful under any top-level formula's acceptance numbering.
+  std::vector<const Formula *> Deferred;
 };
 
-/// Recursive expansion of a formula worklist into branches.
+/// Recursive expansion of a formula worklist into branches. Expansion
+/// depends only on the state set itself, never on the surrounding
+/// automaton, which is what makes its results cacheable across builds.
 class Expander {
 public:
-  Expander(const std::vector<const Formula *> &AcceptanceFormulas)
-      : AcceptanceFormulas(AcceptanceFormulas) {}
-
   std::vector<Branch> expand(const FormulaSet &State) {
     Branches.clear();
     Branch Initial;
@@ -56,13 +57,6 @@ public:
   }
 
 private:
-  int acceptanceIndex(const Formula *F) const {
-    for (size_t I = 0; I < AcceptanceFormulas.size(); ++I)
-      if (AcceptanceFormulas[I] == F)
-        return static_cast<int>(I);
-    return -1;
-  }
-
   void expandRec(std::vector<const Formula *> Worklist,
                  std::set<const Formula *> Processed, Branch Current) {
     while (!Worklist.empty()) {
@@ -113,15 +107,13 @@ private:
       }
       case Formula::Kind::Finally: {
         // F f == f || X F f; the second branch defers.
-        int Acc = acceptanceIndex(F);
         {
           std::vector<const Formula *> Sub = Worklist;
           Sub.push_back(F->child(0));
           expandRec(std::move(Sub), Processed, Current);
         }
         Branch Deferred = Current;
-        if (Acc >= 0)
-          Deferred.DeferMask |= uint64_t(1) << Acc;
+        Deferred.Deferred.push_back(F);
         Deferred.Next.insert(F);
         expandRec(std::move(Worklist), std::move(Processed),
                   std::move(Deferred));
@@ -129,15 +121,13 @@ private:
       }
       case Formula::Kind::Until: {
         // a U b == b || (a && X(a U b)); the second branch defers.
-        int Acc = acceptanceIndex(F);
         {
           std::vector<const Formula *> Sub = Worklist;
           Sub.push_back(F->rhs());
           expandRec(std::move(Sub), Processed, Current);
         }
         Branch Deferred = Current;
-        if (Acc >= 0)
-          Deferred.DeferMask |= uint64_t(1) << Acc;
+        Deferred.Deferred.push_back(F);
         Deferred.Next.insert(F);
         Worklist.push_back(F->lhs());
         expandRec(std::move(Worklist), std::move(Processed),
@@ -200,7 +190,6 @@ private:
     return false;
   }
 
-  const std::vector<const Formula *> &AcceptanceFormulas;
   std::vector<Branch> Branches;
 };
 
@@ -285,10 +274,43 @@ void collectAcceptanceFormulas(const Formula *F,
     collectAcceptanceFormulas(Kid, Out, Seen);
 }
 
+/// The cacheable unit of per-state work: a branch with its guard already
+/// compiled (contradictory guards dropped) and its successor obligation
+/// set canonicalized. Everything here is independent of the top-level
+/// formula and of state numbering.
+struct CompiledBranch {
+  LetterConstraint Guard;
+  FormulaSet Next;
+  std::vector<const Formula *> Deferred;
+};
+
 } // namespace
 
+struct TableauCache::Impl {
+  /// Keeps the memo from growing without bound on open-ended workloads;
+  /// comfortably above the working set of the bundled benchmarks. Hit
+  /// once, the whole map is dropped (deterministic, and far simpler
+  /// than LRU for entries that are cheap to recompute).
+  static constexpr size_t MaxEntries = size_t(1) << 16;
+
+  std::unordered_map<std::string, std::vector<CompiledBranch>> Expansions;
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
+
+TableauCache::TableauCache() : I(new Impl) {}
+TableauCache::~TableauCache() = default;
+size_t TableauCache::hits() const { return I->Hits; }
+size_t TableauCache::misses() const { return I->Misses; }
+size_t TableauCache::size() const { return I->Expansions.size(); }
+void TableauCache::clear() {
+  I->Expansions.clear();
+  I->Hits = I->Misses = 0;
+}
+
 Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
-                    TableauStats *Stats, const TableauLimits &Limits) {
+                    TableauStats *Stats, const TableauLimits &Limits,
+                    TableauCache *Cache) {
   const Formula *Nnf = Ctx.Formulas.toNNF(F);
 
   std::vector<const Formula *> AcceptanceFormulas;
@@ -299,7 +321,19 @@ Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
   const size_t K = AcceptanceFormulas.size();
   assert(K <= 64 && "too many acceptance sets");
 
-  Expander Exp(AcceptanceFormulas);
+  // Position of a deferred formula in this build's acceptance numbering.
+  // Cached expansions may come from a different top-level formula, but a
+  // deferred formula is always a subformula of its state set and the
+  // state set is in the current formula's closure, so the lookup finds
+  // it whenever the acceptance machinery needs it.
+  auto acceptanceIndex = [&](const Formula *G) {
+    for (size_t I = 0; I < AcceptanceFormulas.size(); ++I)
+      if (AcceptanceFormulas[I] == G)
+        return static_cast<int>(I);
+    return -1;
+  };
+
+  Expander Exp;
 
   // Generalized automaton: states are obligation sets; expansion is
   // memoized per state.
@@ -338,6 +372,39 @@ Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
     return Key;
   };
 
+  // Expansion + guard compilation for one state, cache-aware. The
+  // returned reference points into the cache (stable: entries are never
+  // mutated after insertion) or into Scratch for uncached builds.
+  const std::string SigKey = Cache ? AB.signatureKey() : std::string();
+  std::vector<CompiledBranch> Scratch;
+  auto ExpandCompiled =
+      [&](const FormulaSet &Set) -> const std::vector<CompiledBranch> & {
+    std::string Key;
+    if (Cache) {
+      Key = SigKey + "|" + setKey(Set);
+      auto It = Cache->I->Expansions.find(Key);
+      if (It != Cache->I->Expansions.end()) {
+        ++Cache->I->Hits;
+        return It->second;
+      }
+      ++Cache->I->Misses;
+    }
+    Scratch.clear();
+    for (Branch &B : Exp.expand(Set)) {
+      LetterConstraint Guard;
+      if (!compileGuard(B.Literals, AB, Guard))
+        continue;
+      Scratch.push_back({std::move(Guard), canonicalize(std::move(B.Next)),
+                         std::move(B.Deferred)});
+    }
+    if (!Cache)
+      return Scratch;
+    if (Cache->I->Expansions.size() >= TableauCache::Impl::MaxEntries)
+      Cache->I->Expansions.clear();
+    return Cache->I->Expansions.emplace(std::move(Key), std::move(Scratch))
+        .first->second;
+  };
+
   uint32_t InitialGen = GetState(canonicalize({Nnf}));
   size_t TotalTransitions = 0;
   for (uint32_t S = 0; S < StateSets.size(); ++S) {
@@ -347,16 +414,17 @@ Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
         Stats->BudgetExceeded = true;
       return Nba();
     }
-    std::vector<Branch> Branches = Exp.expand(StateSets[S]);
+    const std::vector<CompiledBranch> &Branches = ExpandCompiled(StateSets[S]);
     std::set<std::string> Seen;
-    for (Branch &B : Branches) {
-      LetterConstraint Guard;
-      if (!compileGuard(B.Literals, AB, Guard))
+    for (const CompiledBranch &B : Branches) {
+      uint64_t DeferMask = 0;
+      for (const Formula *D : B.Deferred)
+        if (int Acc = acceptanceIndex(D); Acc >= 0)
+          DeferMask |= uint64_t(1) << Acc;
+      uint32_t Target = GetState(B.Next);
+      if (!Seen.insert(TransitionKey(B.Guard, Target, DeferMask)).second)
         continue;
-      uint32_t Target = GetState(canonicalize(std::move(B.Next)));
-      if (!Seen.insert(TransitionKey(Guard, Target, B.DeferMask)).second)
-        continue;
-      Transitions[S].push_back({std::move(Guard), Target, B.DeferMask});
+      Transitions[S].push_back({B.Guard, Target, DeferMask});
       ++TotalTransitions;
     }
   }

@@ -21,6 +21,8 @@
 #include "automata/Nba.h"
 #include "logic/Specification.h"
 
+#include <memory>
+
 namespace temos {
 
 /// Statistics of one construction.
@@ -40,12 +42,53 @@ struct TableauLimits {
   size_t MaxTransitions = 2000000;
 };
 
+class TableauCache;
+
 /// Builds the NBA of \p F (converted to NNF internally) over \p AB.
 /// Every predicate and update atom of \p F must be registered in the
-/// alphabet.
+/// alphabet. With a non-null \p Cache, per-state expansions are served
+/// from / recorded into the cache (see TableauCache).
 Nba buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
              TableauStats *Stats = nullptr,
-             const TableauLimits &Limits = {});
+             const TableauLimits &Limits = {},
+             TableauCache *Cache = nullptr);
+
+/// Cross-build memo for the tableau's per-state expansion work.
+///
+/// A tableau state (a set of obligations) expands to the same compiled
+/// branches — guard, successor obligation set, deferred
+/// acceptance formulas — regardless of the *top-level* formula being
+/// translated, because expansion only ever looks at the state set
+/// itself. Keys combine the alphabet signature (guards compile against
+/// concrete bit/choice indices) with the state's formula-id key, so a
+/// refinement round that conjoins one new assumption onto an otherwise
+/// unchanged specification replays the expansion of every shared state
+/// instead of re-deriving it.
+///
+/// The cache is tied to one Context (formula ids are interning indices):
+/// never share an instance across Contexts. Not thread-safe; the
+/// synthesis engine uses it from the construction thread only.
+class TableauCache {
+public:
+  TableauCache();
+  ~TableauCache();
+  TableauCache(const TableauCache &) = delete;
+  TableauCache &operator=(const TableauCache &) = delete;
+
+  /// States served from the cache across all builds.
+  size_t hits() const;
+  /// States expanded from scratch (and recorded).
+  size_t misses() const;
+  /// Cached expansion entries.
+  size_t size() const;
+  void clear();
+
+private:
+  friend Nba buildNba(const Formula *, Context &, const Alphabet &,
+                      TableauStats *, const TableauLimits &, TableauCache *);
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// LTL satisfiability of \p F under the underapproximation: does some
 /// trace (sequence of letters) satisfy it? Used by the refinement loop's

@@ -10,7 +10,8 @@
 using namespace temos;
 
 BenchmarkRun temos::runBenchmark(const BenchmarkSpec &B,
-                                 const PipelineOptions &Options) {
+                                 const PipelineOptions &Options,
+                                 unsigned Repeats) {
   BenchmarkRun Run;
   Run.Ctx = std::make_shared<Context>();
   Run.Row.Family = B.Family;
@@ -24,6 +25,10 @@ BenchmarkRun temos::runBenchmark(const BenchmarkSpec &B,
 
   Synthesizer Synth(*Run.Ctx);
   Run.Result = Synth.run(Run.Spec, Options);
+  for (unsigned I = 1; I < Repeats; ++I) {
+    PipelineResult Again = Synth.run(Run.Spec, Options);
+    Run.RepeatStats.push_back(Again.Stats);
+  }
 
   const PipelineStats &S = Run.Result.Stats;
   Run.Row.Status = Run.Result.Status;

@@ -40,13 +40,20 @@ struct BenchmarkRun {
   BenchmarkRow Row;
   std::shared_ptr<Context> Ctx;
   Specification Spec;
+  /// First pipeline run (the Table-1 measurement).
   PipelineResult Result;
+  /// Stats of runs 2..Repeats on the same Synthesizer; with the
+  /// incremental engine these show the cross-run NBA/arena reuse the
+  /// BENCH_*.json records carry.
+  std::vector<PipelineStats> RepeatStats;
 };
 
 /// Parses and synthesizes benchmark \p B. \p Options tweaks the
-/// pipeline (ablation benches).
+/// pipeline (ablation benches). \p Repeats > 1 reruns the pipeline on
+/// the same Synthesizer, filling RepeatStats.
 BenchmarkRun runBenchmark(const BenchmarkSpec &B,
-                          const PipelineOptions &Options = {});
+                          const PipelineOptions &Options = {},
+                          unsigned Repeats = 1);
 
 /// Formats rows as the Table 1 layout.
 std::string formatTable(const std::vector<BenchmarkRow> &Rows);

@@ -167,15 +167,40 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
   }
 }
 
+void Synthesizer::recordReactiveRun(PipelineResult &Result, unsigned Round,
+                                    const SynthesisResult &Reactive) {
+  ReactiveRunStats RS;
+  RS.Round = Round;
+  RS.Status = Reactive.Status;
+  RS.NbaCacheHit = Reactive.Stats.NbaCacheHit;
+  RS.ArenaStatesReused = Reactive.Stats.ArenaStatesReused;
+  RS.GameStates = Reactive.Stats.GameStates;
+  RS.BoundUsed = Reactive.Stats.BoundUsed;
+  RS.NbaSeconds = Reactive.Stats.NbaSeconds;
+  RS.GameSeconds = Reactive.Stats.GameSeconds;
+  Result.Stats.ReactiveDetail.push_back(RS);
+}
+
 PipelineResult Synthesizer::runEager(const Specification &Spec,
                                      const PipelineOptions &Options) {
   PipelineResult Result;
   SolverService &Svc = ensureService(Spec.Th, Options);
   const size_t Hits0 = Svc.cache().hits();
   const size_t Misses0 = Svc.cache().misses();
+  const size_t Evictions0 = Svc.cache().evictions();
+  const size_t NbaHits0 = Engine.nbaCacheHits();
+  const size_t NbaMisses0 = Engine.nbaCacheMisses();
+  const size_t ExpHits0 = Engine.expansionCacheHits();
+  const size_t ExpMisses0 = Engine.expansionCacheMisses();
   auto CaptureCacheStats = [&] {
     Result.Stats.CacheHits = Svc.cache().hits() - Hits0;
     Result.Stats.CacheMisses = Svc.cache().misses() - Misses0;
+    Result.Stats.CacheEvictions = Svc.cache().evictions() - Evictions0;
+    Result.Stats.NbaCacheHits = Engine.nbaCacheHits() - NbaHits0;
+    Result.Stats.NbaCacheMisses = Engine.nbaCacheMisses() - NbaMisses0;
+    Result.Stats.ExpansionCacheHits = Engine.expansionCacheHits() - ExpHits0;
+    Result.Stats.ExpansionCacheMisses =
+        Engine.expansionCacheMisses() - ExpMisses0;
   };
   Timer PsiTimer;
   CpuTimer PsiCpu;
@@ -214,7 +239,8 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
 
     ++Result.Stats.ReactiveRuns;
     SynthesisResult Reactive =
-        synthesizeLtl(Phi, Ctx, Result.AB, Options.Reactive);
+        Engine.synthesize(Phi, Ctx, Result.AB, Options.Reactive, &Svc.pool());
+    recordReactiveRun(Result, Round, Reactive);
     Result.Stats.GameStates =
         std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
 
@@ -307,6 +333,11 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
   SolverService &Svc = ensureService(Spec.Th, Options);
   const size_t Hits0 = Svc.cache().hits();
   const size_t Misses0 = Svc.cache().misses();
+  const size_t Evictions0 = Svc.cache().evictions();
+  const size_t NbaHits0 = Engine.nbaCacheHits();
+  const size_t NbaMisses0 = Engine.nbaCacheMisses();
+  const size_t ExpHits0 = Engine.expansionCacheHits();
+  const size_t ExpMisses0 = Engine.expansionCacheMisses();
   Timer PsiTimer;
   CpuTimer PsiCpu;
   AssumptionGenerator Generator(Spec, Ctx);
@@ -332,7 +363,8 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
 
     ++Result.Stats.ReactiveRuns;
     SynthesisResult Reactive =
-        synthesizeLtl(Phi, Ctx, Result.AB, Options.Reactive);
+        Engine.synthesize(Phi, Ctx, Result.AB, Options.Reactive, &Svc.pool());
+    recordReactiveRun(Result, static_cast<unsigned>(NextSygus), Reactive);
     Result.Stats.GameStates =
         std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
     if (Reactive.Status == Realizability::Realizable) {
@@ -354,5 +386,11 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
   Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
   Result.Stats.CacheHits = Svc.cache().hits() - Hits0;
   Result.Stats.CacheMisses = Svc.cache().misses() - Misses0;
+  Result.Stats.CacheEvictions = Svc.cache().evictions() - Evictions0;
+  Result.Stats.NbaCacheHits = Engine.nbaCacheHits() - NbaHits0;
+  Result.Stats.NbaCacheMisses = Engine.nbaCacheMisses() - NbaMisses0;
+  Result.Stats.ExpansionCacheHits = Engine.expansionCacheHits() - ExpHits0;
+  Result.Stats.ExpansionCacheMisses =
+      Engine.expansionCacheMisses() - ExpMisses0;
   return Result;
 }

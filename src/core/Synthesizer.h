@@ -83,6 +83,22 @@ struct PipelineOptions {
   std::string validate() const;
 };
 
+/// One reactive-synthesis invocation of a pipeline run, as recorded for
+/// the --bench-json emitter: which refinement round it served, whether
+/// the incremental engine reused cached work, and the phase split.
+struct ReactiveRunStats {
+  /// Refinement round (eager) or assumption-prefix length (lazy).
+  unsigned Round = 0;
+  Realizability Status = Realizability::Unknown;
+  bool NbaCacheHit = false;
+  size_t ArenaStatesReused = 0;
+  size_t GameStates = 0;
+  /// Bound that produced the strategy (0 unless Realizable).
+  unsigned BoundUsed = 0;
+  double NbaSeconds = 0;
+  double GameSeconds = 0;
+};
+
 /// Table 1's per-benchmark columns, plus solver-service accounting.
 struct PipelineStats {
   size_t SpecSize = 0;        // |phi|
@@ -100,11 +116,22 @@ struct PipelineStats {
   unsigned ReactiveRuns = 0;
   size_t GameStates = 0;
   size_t ConsistencyQueries = 0;
-  /// Query-cache hits/misses attributable to this run (the cache itself
-  /// persists across runs on the same Synthesizer, which is where
-  /// repeated-run hits come from).
+  /// Query-cache hits/misses/evictions attributable to this run (the
+  /// cache itself persists across runs on the same Synthesizer, which
+  /// is where repeated-run hits come from).
   size_t CacheHits = 0;
   size_t CacheMisses = 0;
+  size_t CacheEvictions = 0;
+  /// Incremental reactive-engine cache traffic for this run. Hits mean
+  /// a refinement round (or repeated run) skipped UCW construction /
+  /// replayed tableau expansions instead of re-deriving them.
+  size_t NbaCacheHits = 0;
+  size_t NbaCacheMisses = 0;
+  size_t ExpansionCacheHits = 0;
+  size_t ExpansionCacheMisses = 0;
+  /// One entry per reactive invocation (ReactiveRuns entries), in
+  /// order. Surfaced via --bench-json; never part of the text summary.
+  std::vector<ReactiveRunStats> ReactiveDetail;
 };
 
 /// Result of running the pipeline.
@@ -153,6 +180,12 @@ public:
   /// what makes repeated runs report cache hits.
   std::shared_ptr<SolverService> solverService() const { return Service; }
 
+  /// The reactive-synthesis engine. Like the solver service's query
+  /// cache, its NBA/arena caches persist across run() calls on this
+  /// Synthesizer, so repeated runs of the same benchmark serve the UCW
+  /// and the explored game from cache.
+  SynthesisEngine &engine() { return Engine; }
+
 private:
   PipelineResult runEager(const Specification &Spec,
                           const PipelineOptions &Options);
@@ -169,9 +202,14 @@ private:
   /// owned one when the theory or parallelism configuration changed.
   SolverService &ensureService(Theory Th, const PipelineOptions &Options);
 
+  /// Records one reactive invocation into Result's stats.
+  static void recordReactiveRun(PipelineResult &Result, unsigned Round,
+                                const SynthesisResult &Reactive);
+
   Context &Ctx;
   std::shared_ptr<SolverService> Service;
   bool ServiceInjected = false;
+  SynthesisEngine Engine;
 };
 
 } // namespace temos

@@ -1,8 +1,36 @@
 //===- game/BoundedSynthesis.cpp - Bounded LTL synthesis -------------------===//
+//
+// Incremental counting-game engine. The key observation: the counting
+// successor relation does not depend on the bound k -- only the overflow
+// cutoff does. Every explored move therefore records its *weight* (the
+// largest counter value it produces); a move is legal at bound B iff
+// weight <= B. Escalating the bound re-examines the moves that
+// overflowed at the old cutoff instead of re-deriving the reachable
+// graph, and solving restricts the fixpoint to moves of weight <= B.
+//
+// Parity with the from-scratch engine is structural, not accidental:
+//  * Reachable sets are monotone in k (a bound-k move is a bound-k'
+//    move for k' >= k and produces the same successor), so the
+//    cumulative arena restricted to weight <= B is exactly the bound-B
+//    game, and the bound-B subgraph is closed under its own moves.
+//  * The greatest fixpoint over the full arena therefore assigns every
+//    bound-B-reachable state the same winning value as the bound-B game
+//    would, and certificate pinning only ever pins truly winning states
+//    (winning transfers upward in k).
+//  * Strategy extraction renumbers states breadth-first from the
+//    initial state picking the least winning output per input, which is
+//    invariant under arena state numbering -- incremental and
+//    from-scratch runs emit byte-identical Mealy machines.
+//
+//===----------------------------------------------------------------------===//
 
 #include "game/BoundedSynthesis.h"
 
+#include "support/SolverPool.h"
+#include "support/Timer.h"
+
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 
@@ -25,214 +53,439 @@ std::string countKey(const CountVector &Counts) {
   return Key;
 }
 
-/// Letter-indexed UCW successor cache, shared by the games for every
-/// counter bound (the transition relation does not depend on k).
+/// Letter-indexed UCW successor cache. Entries are per UCW state and
+/// filled at most once; because each fill writes only its own
+/// preallocated slot, distinct states can be filled from pool workers
+/// concurrently without synchronization.
 struct SuccessorCache {
+  struct Entry {
+    bool Filled = false;
+    /// (offset, length) into Arena, indexed by In * |Out| + Out.
+    std::vector<std::pair<uint32_t, uint32_t>> PerLetter;
+    /// (target, accepting) successor pairs.
+    std::vector<std::pair<uint32_t, uint8_t>> Arena;
+  };
+
   SuccessorCache(const Nba &Ucw, const Alphabet &AB)
       : Ucw(Ucw), AB(AB), Live(Ucw.liveStates()) {
     OutputChoices.reserve(AB.outputLetterCount());
     for (uint32_t O = 0; O < AB.outputLetterCount(); ++O)
       OutputChoices.push_back(AB.decodeOutput(O));
-    NumLetters = AB.inputLetterCount() * AB.outputLetterCount();
-    SuccOffsets.assign(Ucw.stateCount(), {});
+    Entries.resize(Ucw.stateCount());
   }
 
-  /// Successor list of UCW state \p Q under a concrete letter; guard
-  /// matching happens once per (state, letter) pair.
-  const std::pair<uint32_t, uint32_t> &get(uint32_t Q, uint32_t InputBits,
-                                           uint32_t Output) {
-    std::vector<std::pair<uint32_t, uint32_t>> &PerLetter = SuccOffsets[Q];
-    if (PerLetter.empty()) {
-      PerLetter.assign(NumLetters, {0, 0});
-      for (uint32_t In = 0; In < AB.inputLetterCount(); ++In) {
-        for (uint32_t Out = 0; Out < AB.outputLetterCount(); ++Out) {
-          uint32_t Offset = static_cast<uint32_t>(SuccArena.size());
-          for (const Nba::Transition &T : Ucw.transitions(Q)) {
-            // Runs through non-live states never reject: drop them.
-            if (!Live[T.Target])
-              continue;
-            if (!T.Guard.matches(In, OutputChoices[Out]))
-              continue;
-            bool Found = false;
-            for (size_t I = Offset; I < SuccArena.size(); ++I)
-              if (SuccArena[I].first == T.Target) {
-                SuccArena[I].second |= T.Accepting ? 1 : 0;
-                Found = true;
-                break;
-              }
-            if (!Found)
-              SuccArena.emplace_back(T.Target, T.Accepting ? 1 : 0);
-          }
-          PerLetter[In * AB.outputLetterCount() + Out] = {
-              Offset, static_cast<uint32_t>(SuccArena.size()) - Offset};
+  bool filled(uint32_t Q) const { return Entries[Q].Filled; }
+
+  /// Computes the per-letter successor table of UCW state \p Q.
+  /// Idempotent; touches only Entries[Q].
+  void fill(uint32_t Q) {
+    Entry &E = Entries[Q];
+    if (E.Filled)
+      return;
+    const size_t NumOutputs = AB.outputLetterCount();
+    E.PerLetter.assign(AB.inputLetterCount() * NumOutputs, {0, 0});
+    for (uint32_t In = 0; In < AB.inputLetterCount(); ++In) {
+      for (uint32_t Out = 0; Out < NumOutputs; ++Out) {
+        uint32_t Offset = static_cast<uint32_t>(E.Arena.size());
+        for (const Nba::Transition &T : Ucw.transitions(Q)) {
+          // Runs through non-live states never reject: drop them.
+          if (!Live[T.Target])
+            continue;
+          if (!T.Guard.matches(In, OutputChoices[Out]))
+            continue;
+          bool Found = false;
+          for (size_t I = Offset; I < E.Arena.size(); ++I)
+            if (E.Arena[I].first == T.Target) {
+              E.Arena[I].second |= T.Accepting ? 1 : 0;
+              Found = true;
+              break;
+            }
+          if (!Found)
+            E.Arena.emplace_back(T.Target, T.Accepting ? 1 : 0);
         }
+        E.PerLetter[In * NumOutputs + Out] = {
+            Offset, static_cast<uint32_t>(E.Arena.size()) - Offset};
       }
     }
-    return PerLetter[InputBits * AB.outputLetterCount() + Output];
+    E.Filled = true;
   }
 
   const Nba &Ucw;
   const Alphabet &AB;
   std::vector<bool> Live;
   std::vector<std::vector<unsigned>> OutputChoices;
-  size_t NumLetters = 0;
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> SuccOffsets;
-  std::vector<std::pair<uint32_t, uint8_t>> SuccArena;
+  std::vector<Entry> Entries;
 };
 
-/// The k-counting safety game over the UCW.
-class CountingGame {
+/// Per-thread scratch for successor computation (dense counter array
+/// plus a touched list for O(active) reset). The invariant between
+/// calls is "every entry is -1".
+struct SuccScratch {
+  std::vector<int16_t> Counts;
+  std::vector<uint32_t> Touched;
+};
+
+SuccScratch &succScratch() {
+  thread_local SuccScratch S;
+  return S;
+}
+
+/// The persistent counting-game arena for one (UCW, alphabet, budget).
+/// Interned states, weighted move lists, and the still-overflowing move
+/// list all survive bound escalation and repeated solve calls.
+class GameArena {
 public:
-  CountingGame(const Nba &Ucw, const Alphabet &AB, SuccessorCache &Cache,
-               unsigned Bound, size_t StateBudget)
-      : Ucw(Ucw), AB(AB), Cache(Cache), Bound(Bound),
-        StateBudget(StateBudget) {}
+  GameArena(std::shared_ptr<const Nba> UcwPtr, const Alphabet &AB,
+            size_t StateBudget)
+      : UcwPtr(std::move(UcwPtr)), Ucw(*this->UcwPtr), AB(AB),
+        StateBudget(StateBudget), Succ(Ucw, AB) {
+    CountVector InitialCounts = {{Ucw.initial(), 0}};
+    (void)internState(InitialCounts);
+  }
 
-  /// Explores the reachable game graph. Returns false if the state
-  /// budget is exceeded.
-  bool explore();
+  GameArena(const GameArena &) = delete;
+  GameArena &operator=(const GameArena &) = delete;
 
-  /// Solves the safety condition. Returns true if the initial state is
-  /// winning for the system.
-  bool solve();
+  /// Extends exploration so every move of weight <= \p B is present.
+  /// Returns false when the state budget is exhausted (verdict:
+  /// Unknown). With \p Pool, successor cells of a wave of frontier
+  /// states are computed in parallel and merged in deterministic order;
+  /// the arena is identical for every pool width.
+  bool extendTo(unsigned B, SolverPool *Pool);
 
-  /// Extracts the winning strategy as a Mealy machine. Requires solve()
-  /// returned true.
-  MealyMachine extractStrategy() const;
+  /// Solves the bound-\p B safety game over the explored arena,
+  /// seeding the fixpoint with winning certificates of bounds <= B and
+  /// recording the result as the bound-B certificate. Requires a
+  /// successful extendTo(B).
+  const std::vector<char> &solve(unsigned B);
+
+  /// Extracts the winning strategy at bound \p B. Requires
+  /// initialWinning(solve(B)).
+  MealyMachine extract(unsigned B, const std::vector<char> &Winning) const;
+
+  bool initialWinning(const std::vector<char> &Winning) const {
+    return !Winning.empty() && Winning[0];
+  }
 
   size_t stateCount() const { return States.size(); }
+  bool exhausted() const { return Exhausted; }
+
+  /// True if serving \p Schedule would need a bound this exhausted
+  /// arena can neither solve from its usable prefix nor extend to
+  /// (extension already failed at a higher bound, but a *smaller*
+  /// unexplored bound might still fit the budget from scratch).
+  bool needsRebuildFor(const std::vector<unsigned> &Schedule) const {
+    if (!Exhausted)
+      return false;
+    for (unsigned B : Schedule)
+      if (static_cast<int64_t>(B) > ExploredBound &&
+          static_cast<int64_t>(B) < ExhaustedBound)
+        return true;
+    return false;
+  }
 
 private:
-  /// Successor counting state, or nullopt if a counter overflows the
-  /// bound (unsafe).
-  std::optional<CountVector> successor(const CountVector &Counts,
-                                       uint32_t InputBits, uint32_t Output);
-  uint32_t internState(const CountVector &Counts);
+  struct Move {
+    uint32_t Out;
+    uint32_t Target;
+    uint32_t Weight;
+  };
+  struct OverflowMove {
+    uint32_t S;
+    uint32_t In;
+    uint32_t Out;
+  };
 
+  /// Interns \p Counts, enqueueing new states for expansion. Returns
+  /// nullopt when the state is new and the budget is already full (the
+  /// arena never holds more than StateBudget states).
+  std::optional<uint32_t> internState(const CountVector &Counts) {
+    std::string Key = countKey(Counts);
+    auto It = StateIds.find(Key);
+    if (It != StateIds.end())
+      return It->second;
+    if (States.size() >= StateBudget)
+      return std::nullopt;
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    StateIds.emplace(std::move(Key), Id);
+    States.push_back(Counts);
+    Moves.emplace_back();
+    Pending.push_back(Id);
+    return Id;
+  }
+
+  void ensureSucc(const CountVector &Counts) {
+    for (const auto &[Q, Count] : Counts) {
+      (void)Count;
+      if (!Succ.filled(Q))
+        Succ.fill(Q);
+    }
+  }
+
+  /// Successor counting state of (Counts, In, Out) with overflow cutoff
+  /// \p Cutoff. Returns false if some counter would exceed the cutoff;
+  /// otherwise fills \p Next (sorted by UCW state) and \p Weight (the
+  /// largest counter produced -- the bound-independent legality
+  /// threshold of this move). Requires successor-cache entries for
+  /// every state in \p Counts; uses per-thread scratch only, so
+  /// concurrent calls for different game states are safe.
+  bool successor(const CountVector &Counts, uint32_t In, uint32_t Out,
+                 unsigned Cutoff, CountVector &Next, uint32_t &Weight) const {
+    SuccScratch &SS = succScratch();
+    if (SS.Counts.size() < Ucw.stateCount())
+      SS.Counts.resize(Ucw.stateCount(), -1);
+    SS.Touched.clear();
+
+    const size_t NumOutputs = AB.outputLetterCount();
+    bool Overflowed = false;
+    uint32_t MaxCount = 0;
+    for (const auto &[Q, Count] : Counts) {
+      const SuccessorCache::Entry &E = Succ.Entries[Q];
+      auto [Offset, Length] = E.PerLetter[In * NumOutputs + Out];
+      for (uint32_t I = Offset; I < Offset + Length; ++I) {
+        auto [Target, Accepting] = E.Arena[I];
+        int NewCount = Count + Accepting;
+        if (NewCount > static_cast<int>(Cutoff)) {
+          Overflowed = true;
+          break;
+        }
+        if (SS.Counts[Target] < 0)
+          SS.Touched.push_back(Target);
+        if (SS.Counts[Target] < NewCount)
+          SS.Counts[Target] = static_cast<int16_t>(NewCount);
+        if (static_cast<uint32_t>(NewCount) > MaxCount)
+          MaxCount = static_cast<uint32_t>(NewCount);
+      }
+      if (Overflowed)
+        break;
+    }
+
+    if (!Overflowed) {
+      std::sort(SS.Touched.begin(), SS.Touched.end());
+      Next.clear();
+      Next.reserve(SS.Touched.size());
+      for (uint32_t T : SS.Touched)
+        Next.emplace_back(T, static_cast<uint8_t>(SS.Counts[T]));
+      Weight = MaxCount;
+    }
+    for (uint32_t T : SS.Touched)
+      SS.Counts[T] = -1;
+    return !Overflowed;
+  }
+
+  void insertMoveSorted(uint32_t S, uint32_t In, Move M) {
+    std::vector<Move> &List = Moves[S][In];
+    auto Pos = std::lower_bound(
+        List.begin(), List.end(), M,
+        [](const Move &A, const Move &B) { return A.Out < B.Out; });
+    List.insert(Pos, M);
+  }
+
+  void markExhausted(unsigned B) {
+    Exhausted = true;
+    ExhaustedBound = B;
+  }
+
+  bool drainPending(unsigned B, SolverPool *Pool);
+
+  std::shared_ptr<const Nba> UcwPtr;
   const Nba &Ucw;
-  const Alphabet &AB;
-  SuccessorCache &Cache;
-  unsigned Bound;
+  Alphabet AB; // Own copy: callers' alphabets are per-round temporaries.
   size_t StateBudget;
+  SuccessorCache Succ;
 
-  std::vector<int16_t> Scratch;
-  std::vector<uint32_t> Touched;
   std::vector<CountVector> States;
   std::unordered_map<std::string, uint32_t> StateIds;
-  /// Moves[state][input] = list of (output, successor id); only safe
-  /// successors are recorded.
-  std::vector<std::vector<std::vector<std::pair<uint32_t, uint32_t>>>> Moves;
-  std::vector<bool> Winning;
+  /// Moves[state][input], sorted by output letter; only moves whose
+  /// weight fit the explored bound are present.
+  std::vector<std::vector<std::vector<Move>>> Moves;
+  /// Moves that overflowed every cutoff tried so far, re-examined when
+  /// the bound escalates.
+  std::vector<OverflowMove> Overflow;
+  /// Interned-but-unexpanded frontier (FIFO).
+  std::deque<uint32_t> Pending;
+  /// Highest bound fully explored; -1 = nothing expanded yet.
+  int64_t ExploredBound = -1;
+  bool Exhausted = false;
+  int64_t ExhaustedBound = -1;
+
+  /// Winning-region certificates: (bound, winning flags over the first
+  /// |cert| arena states at solve time). Winning transfers upward in
+  /// the bound, so any certificate of bound <= B pins states when
+  /// solving bound B.
+  std::vector<std::pair<unsigned, std::vector<char>>> Certificates;
+  std::vector<char> CurrentWinning;
 };
 
-uint32_t CountingGame::internState(const CountVector &Counts) {
-  std::string Key = countKey(Counts);
-  auto It = StateIds.find(Key);
-  if (It != StateIds.end())
-    return It->second;
-  uint32_t Id = static_cast<uint32_t>(States.size());
-  StateIds.emplace(std::move(Key), Id);
-  States.push_back(Counts);
-  return Id;
-}
-
-std::optional<CountVector>
-CountingGame::successor(const CountVector &Counts, uint32_t InputBits,
-                        uint32_t Output) {
-  // Dense scratch, reused across calls; Touched tracks what to reset.
-  if (Scratch.size() < Ucw.stateCount())
-    Scratch.assign(Ucw.stateCount(), -1);
-  Touched.clear();
-
-  bool Overflow = false;
-  for (const auto &[Q, Count] : Counts) {
-    auto [Offset, Length] = Cache.get(Q, InputBits, Output);
-    for (uint32_t I = Offset; I < Offset + Length; ++I) {
-      auto [Target, Accepting] = Cache.SuccArena[I];
-      int NewCount = Count + Accepting;
-      if (NewCount > static_cast<int>(Bound)) {
-        Overflow = true;
-        break;
-      }
-      if (Scratch[Target] < 0)
-        Touched.push_back(Target);
-      if (Scratch[Target] < NewCount)
-        Scratch[Target] = static_cast<int16_t>(NewCount);
-    }
-    if (Overflow)
-      break;
+bool GameArena::extendTo(unsigned B, SolverPool *Pool) {
+  if (Exhausted) {
+    // The usable prefix (bounds <= ExploredBound) remains exact; any
+    // further extension already failed the budget.
+    return static_cast<int64_t>(B) <= ExploredBound;
   }
+  if (static_cast<int64_t>(B) <= ExploredBound)
+    return true;
 
-  std::optional<CountVector> Result;
-  if (!Overflow) {
-    std::sort(Touched.begin(), Touched.end());
+  // Re-examine previously overflowing moves at the new cutoff. Entries
+  // whose source states were expanded earlier have their successor
+  // cache rows filled already.
+  std::vector<OverflowMove> Still;
+  Still.reserve(Overflow.size());
+  for (const OverflowMove &OM : Overflow) {
     CountVector Next;
-    Next.reserve(Touched.size());
-    for (uint32_t T : Touched)
-      Next.emplace_back(T, static_cast<uint8_t>(Scratch[T]));
-    Result = std::move(Next);
-  }
-  for (uint32_t T : Touched)
-    Scratch[T] = -1;
-  return Result;
-}
-
-bool CountingGame::explore() {
-  CountVector InitialCounts = {{Ucw.initial(), 0}};
-  uint32_t InitialId = internState(InitialCounts);
-  (void)InitialId;
-
-  const size_t NumInputs = AB.inputLetterCount();
-  const size_t NumOutputs = AB.outputLetterCount();
-
-  std::deque<uint32_t> Queue;
-  Queue.push_back(0);
-  size_t Processed = 0;
-  while (!Queue.empty()) {
-    uint32_t S = Queue.front();
-    Queue.pop_front();
-    if (S < Moves.size() && !Moves[S].empty())
-      continue; // Already expanded.
-    if (Moves.size() <= S)
-      Moves.resize(States.size());
-    Moves[S].assign(NumInputs, {});
-    ++Processed;
-
-    for (uint32_t In = 0; In < NumInputs; ++In) {
-      for (uint32_t Out = 0; Out < NumOutputs; ++Out) {
-        auto Next = successor(States[S], In, Out);
-        if (!Next)
-          continue;
-        size_t Before = States.size();
-        uint32_t Target = internState(*Next);
-        if (States.size() > StateBudget)
-          return false;
-        if (States.size() != Before)
-          Queue.push_back(Target);
-        Moves[S][In].emplace_back(Out, Target);
-      }
+    uint32_t Weight = 0;
+    ensureSucc(States[OM.S]);
+    if (!successor(States[OM.S], OM.In, OM.Out, B, Next, Weight)) {
+      Still.push_back(OM);
+      continue;
     }
+    std::optional<uint32_t> Target = internState(Next);
+    if (!Target) {
+      markExhausted(B);
+      return false;
+    }
+    insertMoveSorted(OM.S, OM.In, {OM.Out, *Target, Weight});
   }
-  Moves.resize(States.size());
+  Overflow = std::move(Still);
+
+  if (!drainPending(B, Pool))
+    return false;
+  ExploredBound = B;
   return true;
 }
 
-bool CountingGame::solve() {
+bool GameArena::drainPending(unsigned B, SolverPool *Pool) {
+  const size_t NumInputs = AB.inputLetterCount();
+  const size_t NumOutputs = AB.outputLetterCount();
+  const size_t Workers = Pool ? Pool->workerCount() : 0;
+  // Wave size: how many frontier states are expanded per parallel
+  // round. 1 (pure sequential) when no pool workers exist.
+  const size_t WaveCap = Workers > 0 ? 256 : 1;
+
+  struct Item {
+    uint32_t In;
+    uint32_t Out;
+    uint32_t Weight;
+    bool Legal;
+    CountVector Next;
+  };
+  std::vector<uint32_t> Wave;
+  std::vector<std::vector<Item>> WaveItems;
+  std::vector<char> FillMark(Workers > 0 ? Ucw.stateCount() : 0, 0);
+
+  while (!Pending.empty()) {
+    const size_t WaveLen = std::min(Pending.size(), WaveCap);
+    Wave.assign(Pending.begin(), Pending.begin() + WaveLen);
+    Pending.erase(Pending.begin(), Pending.begin() + WaveLen);
+
+    if (Workers == 0) {
+      // Sequential fast path: expand and merge one state at a time.
+      uint32_t S = Wave[0];
+      Moves[S].assign(NumInputs, {});
+      ensureSucc(States[S]);
+      CountVector Next;
+      for (uint32_t In = 0; In < NumInputs; ++In) {
+        for (uint32_t Out = 0; Out < NumOutputs; ++Out) {
+          uint32_t Weight = 0;
+          if (!successor(States[S], In, Out, B, Next, Weight)) {
+            Overflow.push_back({S, In, static_cast<uint32_t>(Out)});
+            continue;
+          }
+          std::optional<uint32_t> Target = internState(Next);
+          if (!Target) {
+            markExhausted(B);
+            return false;
+          }
+          Moves[S][In].push_back({Out, *Target, Weight});
+        }
+      }
+      continue;
+    }
+
+    // Phase 1: fill the successor-cache rows this wave needs. Each row
+    // is an independent slot, so the fills fan out across the pool.
+    std::vector<uint32_t> NeedFill;
+    for (uint32_t S : Wave)
+      for (const auto &[Q, Count] : States[S]) {
+        (void)Count;
+        if (!Succ.filled(Q) && !FillMark[Q]) {
+          FillMark[Q] = 1;
+          NeedFill.push_back(Q);
+        }
+      }
+    if (!NeedFill.empty())
+      Pool->forEach(NeedFill.size(),
+                    [&](size_t I) { Succ.fill(NeedFill[I]); });
+    for (uint32_t Q : NeedFill)
+      FillMark[Q] = 0;
+
+    // Phase 2: compute every (input, output) successor of every wave
+    // state concurrently. Reads are confined to the (now filled)
+    // successor cache and the immutable States prefix; writes go to
+    // per-state buffers.
+    WaveItems.assign(WaveLen, {});
+    Pool->forEach(WaveLen, [&](size_t W) {
+      uint32_t S = Wave[W];
+      std::vector<Item> &Items = WaveItems[W];
+      Items.reserve(NumInputs * NumOutputs);
+      for (uint32_t In = 0; In < NumInputs; ++In)
+        for (uint32_t Out = 0; Out < NumOutputs; ++Out) {
+          Item It{In, Out, 0, false, {}};
+          It.Legal = successor(States[S], In, Out, B, It.Next, It.Weight);
+          Items.push_back(std::move(It));
+        }
+    });
+
+    // Phase 3: merge sequentially in wave order. Interning order is
+    // exactly the order the sequential path would produce, so state
+    // ids -- and everything downstream -- are identical for every pool
+    // width.
+    for (size_t W = 0; W < WaveLen; ++W) {
+      uint32_t S = Wave[W];
+      Moves[S].assign(NumInputs, {});
+      for (Item &It : WaveItems[W]) {
+        if (!It.Legal) {
+          Overflow.push_back({S, It.In, It.Out});
+          continue;
+        }
+        std::optional<uint32_t> Target = internState(It.Next);
+        if (!Target) {
+          markExhausted(B);
+          return false;
+        }
+        Moves[S][It.In].push_back({It.Out, *Target, It.Weight});
+      }
+    }
+  }
+  return true;
+}
+
+const std::vector<char> &GameArena::solve(unsigned B) {
   // Greatest fixpoint: a state is winning while for every input some
-  // output leads to a winning state. Iterate removal until stable.
-  Winning.assign(States.size(), true);
+  // legal (weight <= B) output leads to a winning state. States covered
+  // by a certificate of a smaller-or-equal bound are winning a priori
+  // and pinned out of the iteration.
+  CurrentWinning.assign(States.size(), 1);
+  std::vector<char> Pinned(States.size(), 0);
+  for (const auto &[CertBound, Cert] : Certificates) {
+    if (CertBound > B)
+      continue;
+    for (size_t I = 0; I < Cert.size() && I < Pinned.size(); ++I)
+      if (Cert[I])
+        Pinned[I] = 1;
+  }
+
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (uint32_t S = 0; S < States.size(); ++S) {
-      if (!Winning[S])
+      if (!CurrentWinning[S] || Pinned[S])
         continue;
       bool Safe = true;
-      for (const auto &PerInput : Moves[S]) {
+      for (const std::vector<Move> &PerInput : Moves[S]) {
         bool SomeOutputWins = false;
-        for (const auto &[Out, Target] : PerInput) {
-          (void)Out;
-          if (Winning[Target]) {
+        for (const Move &M : PerInput) {
+          if (M.Weight <= B && CurrentWinning[M.Target]) {
             SomeOutputWins = true;
             break;
           }
@@ -243,19 +496,29 @@ bool CountingGame::solve() {
         }
       }
       if (!Safe) {
-        Winning[S] = false;
+        CurrentWinning[S] = 0;
         Changed = true;
       }
     }
   }
-  return !States.empty() && Winning[0];
+
+  for (auto &[CertBound, Cert] : Certificates)
+    if (CertBound == B) {
+      Cert = CurrentWinning;
+      return CurrentWinning;
+    }
+  Certificates.emplace_back(B, CurrentWinning);
+  return CurrentWinning;
 }
 
-MealyMachine CountingGame::extractStrategy() const {
+MealyMachine GameArena::extract(unsigned B,
+                                const std::vector<char> &Winning) const {
   const size_t NumInputs = AB.inputLetterCount();
 
   // Collect the winning states reachable under the least-output
-  // strategy and renumber them densely.
+  // strategy and renumber them densely (breadth-first from the initial
+  // state: the numbering -- and therefore the machine -- does not
+  // depend on arena state ids).
   std::unordered_map<uint32_t, uint32_t> Renumber;
   std::vector<uint32_t> Order;
   std::deque<uint32_t> Queue;
@@ -274,10 +537,10 @@ MealyMachine CountingGame::extractStrategy() const {
       uint32_t PickedOutput = 0;
       uint32_t PickedTarget = 0;
       bool Found = false;
-      for (const auto &[Out, Target] : Moves[S][In]) {
-        if (Winning[Target]) {
-          PickedOutput = Out;
-          PickedTarget = Target;
+      for (const Move &M : Moves[S][In]) {
+        if (M.Weight <= B && Winning[M.Target]) {
+          PickedOutput = M.Out;
+          PickedTarget = M.Target;
           Found = true;
           break;
         }
@@ -285,8 +548,7 @@ MealyMachine CountingGame::extractStrategy() const {
       assert(Found && "winning state lost on some input");
       (void)Found;
       if (!Renumber.count(PickedTarget)) {
-        Renumber.emplace(PickedTarget,
-                         static_cast<uint32_t>(Order.size()));
+        Renumber.emplace(PickedTarget, static_cast<uint32_t>(Order.size()));
         Order.push_back(PickedTarget);
         Queue.push_back(PickedTarget);
       }
@@ -308,46 +570,196 @@ MealyMachine CountingGame::extractStrategy() const {
   M.setInitialState(0);
   for (uint32_t Dense = 0; Dense < Order.size(); ++Dense)
     for (uint32_t In = 0; In < NumInputs; ++In)
-      M.setEdge(Dense, In,
-                {ChosenOutput[Dense][In], ChosenTarget[Dense][In]});
+      M.setEdge(Dense, In, {ChosenOutput[Dense][In], ChosenTarget[Dense][In]});
   return M;
+}
+
+std::string limitsKey(const TableauLimits &Limits) {
+  return "g" + std::to_string(Limits.MaxGeneralizedStates) + "t" +
+         std::to_string(Limits.MaxTransitions);
 }
 
 } // namespace
 
-SynthesisResult temos::synthesizeLtl(const Formula *Spec, Context &Ctx,
-                                     const Alphabet &AB,
-                                     const SynthesisOptions &Options) {
+struct SynthesisEngine::Impl {
+  struct NbaEntry {
+    std::shared_ptr<const Nba> Ucw;
+    TableauStats Stats;
+  };
+
+  /// Caps chosen for a pipeline run's working set: a refinement loop
+  /// touches a handful of distinct specifications, each with one arena
+  /// per budget. Overflow drops everything (deterministic; entries are
+  /// re-derivable).
+  static constexpr size_t MaxNbas = 32;
+  static constexpr size_t MaxArenas = 8;
+
+  /// Cache keys render formulas and use Context-interned ids; an engine
+  /// is bound to the first Context it sees.
+  const Context *BoundCtx = nullptr;
+
+  TableauCache ExpCache;
+  std::unordered_map<std::string, NbaEntry> NbaCache;
+  std::unordered_map<std::string, std::unique_ptr<GameArena>> Arenas;
+  size_t NbaHits = 0;
+  size_t NbaMisses = 0;
+
+  SynthesisResult synthesize(const Formula *Spec, Context &Ctx,
+                             const Alphabet &AB,
+                             const SynthesisOptions &Options,
+                             SolverPool *Pool);
+};
+
+SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
+                                                  Context &Ctx,
+                                                  const Alphabet &AB,
+                                                  const SynthesisOptions &Options,
+                                                  SolverPool *Pool) {
   SynthesisResult Result;
+
+  if (BoundCtx && BoundCtx != &Ctx) {
+    // A different Context invalidates every formula-id-based key.
+    NbaCache.clear();
+    Arenas.clear();
+    ExpCache.clear();
+    BoundCtx = nullptr;
+  }
+  if (!BoundCtx)
+    BoundCtx = &Ctx;
+
+  const bool Incremental = Options.Incremental;
+  Timer NbaTimer;
 
   // UCW = NBA of the negated specification.
   const Formula *Negated = Ctx.Formulas.notF(Spec);
-  Nba Ucw = buildNba(Negated, Ctx, AB, &Result.Stats.Tableau);
+  std::shared_ptr<const Nba> Ucw;
+  std::string NbaKey;
+  if (Incremental) {
+    const Formula *Nnf = Ctx.Formulas.toNNF(Negated);
+    NbaKey = AB.signatureKey() + "|" + limitsKey(Options.Tableau) + "|" +
+             Nnf->str();
+    auto It = NbaCache.find(NbaKey);
+    if (It != NbaCache.end()) {
+      ++NbaHits;
+      Result.Stats.NbaCacheHit = true;
+      Result.Stats.Tableau = It->second.Stats;
+      Ucw = It->second.Ucw;
+    } else {
+      ++NbaMisses;
+      size_t Hits0 = ExpCache.hits(), Misses0 = ExpCache.misses();
+      TableauStats TS;
+      Nba Built =
+          buildNba(Negated, Ctx, AB, &TS, Options.Tableau, &ExpCache);
+      Result.Stats.ExpansionCacheHits = ExpCache.hits() - Hits0;
+      Result.Stats.ExpansionCacheMisses = ExpCache.misses() - Misses0;
+      Result.Stats.Tableau = TS;
+      Ucw = std::make_shared<const Nba>(std::move(Built));
+      // Budget-exceeded automata are unusable artifacts: never cache.
+      if (!TS.BudgetExceeded) {
+        if (NbaCache.size() >= MaxNbas)
+          NbaCache.clear();
+        NbaCache.emplace(NbaKey, NbaEntry{Ucw, TS});
+      }
+    }
+  } else {
+    TableauStats TS;
+    Nba Built = buildNba(Negated, Ctx, AB, &TS, Options.Tableau);
+    Result.Stats.Tableau = TS;
+    Ucw = std::make_shared<const Nba>(std::move(Built));
+  }
+  Result.Stats.NbaSeconds = NbaTimer.seconds();
+
   if (Result.Stats.Tableau.BudgetExceeded) {
     Result.Status = Realizability::Unknown;
     return Result;
   }
 
-  SuccessorCache Cache(Ucw, AB);
+  Timer GameTimer;
+  GameArena *Arena = nullptr;
+  std::unique_ptr<GameArena> Local;
+  if (Incremental) {
+    std::string ArenaKey = NbaKey + "|b" + std::to_string(Options.StateBudget);
+    auto It = Arenas.find(ArenaKey);
+    if (It != Arenas.end() &&
+        It->second->needsRebuildFor(Options.BoundSchedule))
+      Arenas.erase(It), It = Arenas.end();
+    if (It == Arenas.end()) {
+      if (Arenas.size() >= MaxArenas)
+        Arenas.clear();
+      It = Arenas
+               .emplace(ArenaKey, std::make_unique<GameArena>(
+                                      Ucw, AB, Options.StateBudget))
+               .first;
+    }
+    Arena = It->second.get();
+    // The fresh arena holds just the interned initial state; anything
+    // beyond one state is reuse from an earlier call.
+    Result.Stats.ArenaStatesReused =
+        Arena->stateCount() > 1 ? Arena->stateCount() : 0;
+  }
+
   for (unsigned Bound : Options.BoundSchedule) {
-    CountingGame Game(Ucw, AB, Cache, Bound, Options.StateBudget);
-    if (!Game.explore()) {
+    if (!Incremental) {
+      // Pre-incremental behavior: a fresh game per bound.
+      Local = std::make_unique<GameArena>(Ucw, AB, Options.StateBudget);
+      Arena = Local.get();
+    }
+    if (!Arena->extendTo(Bound, Pool)) {
       Result.Status = Realizability::Unknown;
-      Result.Stats.GameStates = Game.stateCount();
+      Result.Stats.GameStates =
+          std::max(Result.Stats.GameStates, Arena->stateCount());
+      Result.Stats.GameSeconds = GameTimer.seconds();
       return Result;
     }
-    if (Game.solve()) {
+    const std::vector<char> &Winning = Arena->solve(Bound);
+    if (Arena->initialWinning(Winning)) {
       Result.Status = Realizability::Realizable;
       Result.Stats.BoundUsed = Bound;
-      Result.Stats.GameStates = Game.stateCount();
-      Result.Machine = Game.extractStrategy();
+      Result.Stats.GameStates = Arena->stateCount();
+      Result.Machine = Arena->extract(Bound, Winning);
+      Result.Stats.GameSeconds = GameTimer.seconds();
       return Result;
     }
     Result.Stats.GameStates =
-        std::max(Result.Stats.GameStates, Game.stateCount());
+        std::max(Result.Stats.GameStates, Arena->stateCount());
   }
   Result.Status = Realizability::Unrealizable;
+  Result.Stats.GameSeconds = GameTimer.seconds();
   return Result;
+}
+
+SynthesisEngine::SynthesisEngine() : I(new Impl) {}
+SynthesisEngine::~SynthesisEngine() = default;
+
+SynthesisResult SynthesisEngine::synthesize(const Formula *Spec, Context &Ctx,
+                                            const Alphabet &AB,
+                                            const SynthesisOptions &Options,
+                                            SolverPool *Pool) {
+  return I->synthesize(Spec, Ctx, AB, Options, Pool);
+}
+
+size_t SynthesisEngine::nbaCacheHits() const { return I->NbaHits; }
+size_t SynthesisEngine::nbaCacheMisses() const { return I->NbaMisses; }
+size_t SynthesisEngine::expansionCacheHits() const {
+  return I->ExpCache.hits();
+}
+size_t SynthesisEngine::expansionCacheMisses() const {
+  return I->ExpCache.misses();
+}
+
+void SynthesisEngine::clearCaches() {
+  I->NbaCache.clear();
+  I->Arenas.clear();
+  I->ExpCache.clear();
+  I->NbaHits = I->NbaMisses = 0;
+  I->BoundCtx = nullptr;
+}
+
+SynthesisResult temos::synthesizeLtl(const Formula *Spec, Context &Ctx,
+                                     const Alphabet &AB,
+                                     const SynthesisOptions &Options) {
+  SynthesisEngine Engine;
+  return Engine.synthesize(Spec, Ctx, AB, Options, nullptr);
 }
 
 Realizability temos::checkRealizable(const Formula *Spec, Context &Ctx,

@@ -10,6 +10,30 @@
 /// one update per cell). A winning system strategy is extracted as a
 /// Mealy machine.
 ///
+/// The engine is *incremental* along three axes (see
+/// docs/ARCHITECTURE.md):
+///
+///  * NBA construction is memoized per (alphabet, NNF rendering), so the
+///    refinement loop's repeated invocations on an unchanged negated
+///    specification skip the tableau entirely, and the tableau's
+///    per-state expansions are shared across builds via TableauCache.
+///  * One counting-game arena (state interning tables, weighted move
+///    lists) is kept alive across the whole bound schedule and across
+///    calls: the counting transition relation does not depend on k, only
+///    the overflow cutoff does, so escalating the bound merely
+///    re-examines previously overflowing moves instead of re-deriving
+///    the reachable graph.
+///  * Solving bound k' >= k is seeded with the winning-region
+///    certificate of bound k. Winning transfers upward (a bound-k
+///    strategy also keeps counters <= k'), so certified states are
+///    pinned and the fixpoint only iterates on the rest. (The losing
+///    region does *not* transfer upward, so it is never reused.)
+///
+/// Extraction renumbers machine states by a breadth-first walk of the
+/// chosen strategy, which makes the emitted Mealy machine independent of
+/// arena internals: incremental and from-scratch runs produce
+/// byte-identical machines (enforced by the parity test suite).
+///
 /// Unrealizability is approximate: if no bound in the schedule
 /// admits a strategy, the problem is reported Unrealizable. This mirrors
 /// the incompleteness the paper accepts (Sec. 4.5: "most existing SyGuS
@@ -23,9 +47,12 @@
 #include "automata/Tableau.h"
 #include "game/Mealy.h"
 
+#include <memory>
 #include <optional>
 
 namespace temos {
+
+class SolverPool;
 
 /// Realizability verdict.
 enum class Realizability {
@@ -43,8 +70,17 @@ struct SynthesisOptions {
   /// liveness specs always fail (and costs nothing extra on safety
   /// specs, whose counters never move).
   std::vector<unsigned> BoundSchedule = {1, 3};
-  /// Abort when a single game exceeds this many counting states.
+  /// Abort when a game exceeds this many counting states. The check is
+  /// applied before interning: the arena never holds more than this
+  /// many states.
   size_t StateBudget = 500000;
+  /// Reuse NBAs, tableau expansions, and game arenas across bounds and
+  /// calls. Off = rebuild everything per bound and per call (the
+  /// pre-incremental behavior; kept selectable for the parity suite and
+  /// the differential fuzzer).
+  bool Incremental = true;
+  /// Budgets for the tableau construction of the UCW.
+  TableauLimits Tableau;
 };
 
 /// Statistics of one synthesis run.
@@ -52,6 +88,17 @@ struct SynthesisStats {
   unsigned BoundUsed = 0;
   size_t GameStates = 0;
   TableauStats Tableau;
+  /// The UCW was served from the engine's NBA cache.
+  bool NbaCacheHit = false;
+  /// Tableau per-state expansion cache traffic during this call.
+  size_t ExpansionCacheHits = 0;
+  size_t ExpansionCacheMisses = 0;
+  /// Game states already present in the reused arena when the call
+  /// started (0 for a fresh arena).
+  size_t ArenaStatesReused = 0;
+  /// Wall-clock split: UCW construction vs. game exploration/solving.
+  double NbaSeconds = 0;
+  double GameSeconds = 0;
 };
 
 /// Result of reactive synthesis.
@@ -61,8 +108,50 @@ struct SynthesisResult {
   SynthesisStats Stats;
 };
 
+/// The incremental reactive-synthesis engine. Owns the NBA cache, the
+/// tableau expansion cache, and the live game arenas; one instance
+/// serves every reactive invocation of a pipeline run (the Synthesizer
+/// keeps one per instance).
+///
+/// All cache keys involve formula renderings and formula ids, so an
+/// engine must only ever be used with a single Context (checked). Not
+/// thread-safe; calls are expected from the pipeline thread. The
+/// optional SolverPool is used *within* a call to explore counting-game
+/// successor cells in parallel with a deterministic merge: results are
+/// byte-identical for every pool width.
+class SynthesisEngine {
+public:
+  SynthesisEngine();
+  ~SynthesisEngine();
+  SynthesisEngine(const SynthesisEngine &) = delete;
+  SynthesisEngine &operator=(const SynthesisEngine &) = delete;
+
+  /// Synthesizes a Mealy machine realizing \p Spec over \p AB, or
+  /// reports (bounded) unrealizability. With Options.Incremental, work
+  /// is served from / recorded into the engine's caches.
+  SynthesisResult synthesize(const Formula *Spec, Context &Ctx,
+                             const Alphabet &AB,
+                             const SynthesisOptions &Options = {},
+                             SolverPool *Pool = nullptr);
+
+  /// Cumulative cache counters across every call on this engine.
+  size_t nbaCacheHits() const;
+  size_t nbaCacheMisses() const;
+  size_t expansionCacheHits() const;
+  size_t expansionCacheMisses() const;
+
+  /// Drops every cached NBA and arena (counters reset too).
+  void clearCaches();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
 /// Synthesizes a Mealy machine realizing \p Spec over \p AB, or reports
-/// (bounded) unrealizability.
+/// (bounded) unrealizability. Convenience wrapper constructing a
+/// throwaway SynthesisEngine; cross-call reuse requires holding an
+/// engine instead.
 SynthesisResult synthesizeLtl(const Formula *Spec, Context &Ctx,
                               const Alphabet &AB,
                               const SynthesisOptions &Options = {});

@@ -33,18 +33,31 @@ QueryCache::canonicalKey(const std::string &TheoryTag,
 
 std::optional<int> QueryCache::lookup(const std::string &Key) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Entries.find(Key);
-  if (It == Entries.end()) {
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
     ++Misses;
     return std::nullopt;
   }
   ++Hits;
-  return It->second;
+  Order.splice(Order.begin(), Order, It->second);
+  return It->second->Verdict;
 }
 
 void QueryCache::insert(const std::string &Key, int Verdict) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entries[Key] = Verdict;
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->Verdict = Verdict;
+    Order.splice(Order.begin(), Order, It->second);
+    return;
+  }
+  if (Capacity != 0 && Order.size() >= Capacity) {
+    Index.erase(Order.back().Key);
+    Order.pop_back();
+    ++Evictions;
+  }
+  Order.push_front(Entry{Key, Verdict});
+  Index.emplace(Order.front().Key, Order.begin());
 }
 
 size_t QueryCache::hits() const {
@@ -57,13 +70,19 @@ size_t QueryCache::misses() const {
   return Misses;
 }
 
+size_t QueryCache::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Evictions;
+}
+
 size_t QueryCache::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.size();
+  return Order.size();
 }
 
 void QueryCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.clear();
-  Hits = Misses = 0;
+  Order.clear();
+  Index.clear();
+  Hits = Misses = Evictions = 0;
 }

@@ -4,16 +4,31 @@
 
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 
 using namespace temos;
 
 namespace {
 
-/// Narrows a 128-bit intermediate back to int64, asserting on overflow.
+/// Narrows a 128-bit intermediate back to int64. Always checked: a
+/// silent wrap here would corrupt simplex pivots and bound comparisons,
+/// so overflow throws instead of being an NDEBUG-only assert.
 int64_t narrow(__int128 Value) {
-  assert(Value <= INT64_MAX && Value >= INT64_MIN &&
-         "rational arithmetic overflow");
+  if (Value > INT64_MAX || Value < INT64_MIN)
+    throw RationalOverflow("rational arithmetic overflow");
   return static_cast<int64_t>(Value);
+}
+
+/// |x| as uint64, safe for INT64_MIN (whose int64 negation is UB).
+uint64_t uabs64(int64_t X) {
+  return X < 0 ? 0u - static_cast<uint64_t>(X) : static_cast<uint64_t>(X);
+}
+
+/// Checked int64 negation; -INT64_MIN does not fit.
+int64_t negate64(int64_t X) {
+  if (X == INT64_MIN)
+    throw RationalOverflow("rational arithmetic overflow");
+  return -X;
 }
 
 /// gcd for 128-bit intermediates; std::gcd does not accept __int128.
@@ -33,29 +48,49 @@ __int128 gcd128(__int128 A, __int128 B) {
 } // namespace
 
 Rational::Rational(int64_t Numerator, int64_t Denominator) {
-  assert(Denominator != 0 && "rational with zero denominator");
-  if (Denominator < 0) {
-    Numerator = -Numerator;
-    Denominator = -Denominator;
-  }
-  int64_t G = std::gcd(Numerator < 0 ? -Numerator : Numerator, Denominator);
+  if (Denominator == 0)
+    throw RationalOverflow("rational with zero denominator");
+  // Canonicalize the sign into the numerator via uint64 magnitudes so
+  // INT64_MIN inputs are caught by the narrow instead of hitting UB.
+  uint64_t N = uabs64(Numerator);
+  uint64_t D = uabs64(Denominator);
+  bool Negative = (Numerator < 0) != (Denominator < 0);
+  uint64_t G = std::gcd(N, D);
   if (G == 0)
     G = 1;
-  Num = Numerator / G;
-  Den = Denominator / G;
+  N /= G;
+  D /= G;
+  if (D > static_cast<uint64_t>(INT64_MAX) ||
+      N > static_cast<uint64_t>(INT64_MAX) + (Negative ? 1u : 0u))
+    throw RationalOverflow("rational arithmetic overflow");
+  Num = Negative ? static_cast<int64_t>(0u - N) : static_cast<int64_t>(N);
+  Den = static_cast<int64_t>(D);
 }
 
 int64_t Rational::floor() const {
   if (Num >= 0)
     return Num / Den;
-  return -((-Num + Den - 1) / Den);
+  // -((-Num + Den - 1) / Den) in 128-bit: -Num overflows int64 for
+  // Num == INT64_MIN, and the sum can exceed int64 even when the
+  // quotient fits.
+  __int128 N = -static_cast<__int128>(Num);
+  __int128 D = Den;
+  return narrow(-((N + D - 1) / D));
 }
 
-int64_t Rational::ceil() const { return -(-*this).floor(); }
+int64_t Rational::ceil() const {
+  if (Num <= 0) {
+    // Truncation rounds toward zero, which is ceil for non-positives.
+    return Num / Den;
+  }
+  __int128 N = Num;
+  __int128 D = Den;
+  return narrow((N + D - 1) / D);
+}
 
 Rational Rational::operator-() const {
   Rational R;
-  R.Num = -Num;
+  R.Num = negate64(Num);
   R.Den = Den;
   return R;
 }
@@ -71,7 +106,13 @@ Rational Rational::operator+(const Rational &RHS) const {
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
-  return *this + (-RHS);
+  __int128 N = static_cast<__int128>(Num) * RHS.Den -
+               static_cast<__int128>(RHS.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  __int128 G = gcd128(N, D);
+  if (G == 0)
+    G = 1;
+  return Rational(narrow(N / G), narrow(D / G));
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
@@ -84,16 +125,19 @@ Rational Rational::operator*(const Rational &RHS) const {
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
-  assert(!RHS.isZero() && "division by zero rational");
-  Rational Inverse;
-  if (RHS.Num < 0) {
-    Inverse.Num = -RHS.Den;
-    Inverse.Den = -RHS.Num;
-  } else {
-    Inverse.Num = RHS.Den;
-    Inverse.Den = RHS.Num;
+  if (RHS.isZero())
+    throw RationalOverflow("division by zero rational");
+  // a/b / c/d = (a*d) / (b*c), canonicalized by the checked ctor path.
+  __int128 N = static_cast<__int128>(Num) * RHS.Den;
+  __int128 D = static_cast<__int128>(Den) * RHS.Num;
+  if (D < 0) {
+    N = -N;
+    D = -D;
   }
-  return *this * Inverse;
+  __int128 G = gcd128(N, D);
+  if (G == 0)
+    G = 1;
+  return Rational(narrow(N / G), narrow(D / G));
 }
 
 bool Rational::operator<(const Rational &RHS) const {
@@ -113,53 +157,59 @@ std::string Rational::str() const {
 }
 
 bool Rational::parse(const std::string &Text, Rational &Out) {
-  if (Text.empty())
-    return false;
-  // "n/d" form.
-  if (auto Slash = Text.find('/'); Slash != std::string::npos) {
+  try {
+    if (Text.empty())
+      return false;
+    // "n/d" form.
+    if (auto Slash = Text.find('/'); Slash != std::string::npos) {
+      errno = 0;
+      char *End = nullptr;
+      long long N = std::strtoll(Text.c_str(), &End, 10);
+      if (End != Text.c_str() + Slash || errno != 0)
+        return false;
+      long long D = std::strtoll(Text.c_str() + Slash + 1, &End, 10);
+      if (*End != '\0' || errno != 0 || D == 0)
+        return false;
+      Out = Rational(N, D);
+      return true;
+    }
+    // "x.y" decimal form.
+    if (auto Dot = Text.find('.'); Dot != std::string::npos) {
+      std::string Whole = Text.substr(0, Dot);
+      std::string Frac = Text.substr(Dot + 1);
+      if (Frac.empty() || Frac.size() > 15)
+        return false;
+      for (char C : Frac)
+        if (C < '0' || C > '9')
+          return false;
+      errno = 0;
+      char *End = nullptr;
+      long long W = std::strtoll(Whole.c_str(), &End, 10);
+      if (*End != '\0' || errno != 0)
+        return false;
+      int64_t Scale = 1;
+      for (size_t I = 0; I < Frac.size(); ++I)
+        Scale *= 10;
+      long long F = std::strtoll(Frac.c_str(), &End, 10);
+      if (*End != '\0' || errno != 0)
+        return false;
+      bool Negative = !Whole.empty() && Whole[0] == '-';
+      Out = Rational(W) + Rational(Negative ? -F : F, Scale);
+      return true;
+    }
+    // Plain integer.
     errno = 0;
     char *End = nullptr;
     long long N = std::strtoll(Text.c_str(), &End, 10);
-    if (End != Text.c_str() + Slash || errno != 0)
+    if (*End != '\0' || End == Text.c_str() || errno != 0)
       return false;
-    long long D = std::strtoll(Text.c_str() + Slash + 1, &End, 10);
-    if (*End != '\0' || errno != 0 || D == 0)
-      return false;
-    Out = Rational(N, D);
+    Out = Rational(N);
     return true;
-  }
-  // "x.y" decimal form.
-  if (auto Dot = Text.find('.'); Dot != std::string::npos) {
-    std::string Whole = Text.substr(0, Dot);
-    std::string Frac = Text.substr(Dot + 1);
-    if (Frac.empty() || Frac.size() > 15)
-      return false;
-    for (char C : Frac)
-      if (C < '0' || C > '9')
-        return false;
-    errno = 0;
-    char *End = nullptr;
-    long long W = std::strtoll(Whole.c_str(), &End, 10);
-    if (*End != '\0' || errno != 0)
-      return false;
-    int64_t Scale = 1;
-    for (size_t I = 0; I < Frac.size(); ++I)
-      Scale *= 10;
-    long long F = std::strtoll(Frac.c_str(), &End, 10);
-    if (*End != '\0' || errno != 0)
-      return false;
-    bool Negative = !Whole.empty() && Whole[0] == '-';
-    Out = Rational(W) + Rational(Negative ? -F : F, Scale);
-    return true;
-  }
-  // Plain integer.
-  errno = 0;
-  char *End = nullptr;
-  long long N = std::strtoll(Text.c_str(), &End, 10);
-  if (*End != '\0' || End == Text.c_str() || errno != 0)
+  } catch (const RationalOverflow &) {
+    // Values that canonicalize outside int64 range are malformed input,
+    // not a crash.
     return false;
-  Out = Rational(N);
-  return true;
+  }
 }
 
 std::string DeltaRational::str() const {

@@ -15,16 +15,26 @@
 #ifndef TEMOS_SUPPORT_RATIONAL_H
 #define TEMOS_SUPPORT_RATIONAL_H
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 namespace temos {
 
+/// Thrown when rational arithmetic leaves the int64 numerator or
+/// denominator range (or divides by zero). Callers that must not throw
+/// — notably the SMT entry points — catch this and degrade to an
+/// Unknown verdict, which is always sound.
+class RationalOverflow : public std::overflow_error {
+public:
+  using std::overflow_error::overflow_error;
+};
+
 /// An exact rational number. Always kept in canonical form: the
-/// denominator is positive and gcd(|num|, den) == 1. Arithmetic asserts
-/// on int64 overflow (inputs in this project stay tiny, but we check).
+/// denominator is positive and gcd(|num|, den) == 1. Arithmetic checks
+/// every 128→64-bit narrowing unconditionally (in release builds too)
+/// and throws RationalOverflow instead of silently wrapping.
 class Rational {
 public:
   Rational() : Num(0), Den(1) {}
@@ -51,7 +61,7 @@ public:
   Rational operator+(const Rational &RHS) const;
   Rational operator-(const Rational &RHS) const;
   Rational operator*(const Rational &RHS) const;
-  /// Division; asserts RHS != 0.
+  /// Division; throws RationalOverflow when RHS == 0.
   Rational operator/(const Rational &RHS) const;
 
   Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }

@@ -2,6 +2,7 @@
 
 #include "theory/SmtSolver.h"
 
+#include "support/Rational.h"
 #include "theory/CongruenceClosure.h"
 #include "theory/Simplex.h"
 
@@ -253,7 +254,13 @@ SatResult SmtSolver::checkFormula(const Formula *F, Assignment *Model) {
     return SatResult::Unknown;
 
   std::vector<TheoryLiteral> Trail;
-  return dpll(F, Atoms, 0, Trail, Model);
+  try {
+    return dpll(F, Atoms, 0, Trail, Model);
+  } catch (const RationalOverflow &) {
+    // Coefficients escaped int64 range mid-solve; Unknown is the only
+    // sound verdict.
+    return SatResult::Unknown;
+  }
 }
 
 SatResult SmtSolver::checkValid(const Formula *F, Context &Ctx) {
@@ -294,7 +301,11 @@ SatResult SmtSolver::dpll(const Formula *F, std::vector<const Term *> &Atoms,
 
 SatResult SmtSolver::checkLiterals(const std::vector<TheoryLiteral> &Literals,
                                    Assignment *Model) {
-  return theoryCheck(Literals, Model);
+  try {
+    return theoryCheck(Literals, Model);
+  } catch (const RationalOverflow &) {
+    return SatResult::Unknown;
+  }
 }
 
 SatResult SmtSolver::theoryCheck(const std::vector<TheoryLiteral> &Literals,

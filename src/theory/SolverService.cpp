@@ -5,7 +5,7 @@
 using namespace temos;
 
 SolverService::SolverService(Theory Th, Config C)
-    : Cfg(C), Prototype(Th), Pool(C.NumThreads) {}
+    : Cfg(C), Prototype(Th), Pool(C.NumThreads), Cache(C.CacheCapacity) {}
 
 SatResult SolverService::cached(const std::string &Key,
                                 const std::function<SatResult()> &Compute) {

@@ -70,6 +70,9 @@ public:
     unsigned NumThreads = 1;
     /// Memoize verdicts in the query cache.
     bool CacheEnabled = true;
+    /// Entry cap for the query cache (LRU eviction past it); 0 means
+    /// unbounded.
+    size_t CacheCapacity = QueryCache::DefaultCapacity;
   };
 
   explicit SolverService(Theory Th) : SolverService(Th, Config()) {}

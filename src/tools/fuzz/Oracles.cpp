@@ -930,7 +930,8 @@ struct PipelineOutcome {
 };
 
 PipelineOutcome runPipelineConfig(const std::string &Source, unsigned Jobs,
-                                  bool Cache, FaultKind Fault) {
+                                  bool Cache, bool Incremental,
+                                  FaultKind Fault) {
   PipelineOutcome Out;
   Context Ctx;
   auto Spec = parseSpecification(Source, Ctx);
@@ -942,6 +943,7 @@ PipelineOutcome runPipelineConfig(const std::string &Source, unsigned Jobs,
   PipelineOptions Options;
   Options.Parallelism.NumThreads = Jobs;
   Options.Parallelism.CacheEnabled = Cache;
+  Options.Reactive.Incremental = Incremental;
   if (Fault == FaultKind::LazyConfig && Jobs > 1)
     Options.Eager = false;
   PipelineResult R = Synth.run(*Spec, Options);
@@ -973,34 +975,44 @@ std::string pipelineDisagreement(const std::string &Source, FaultKind Fault) {
   struct Config {
     unsigned Jobs;
     bool Cache;
+    bool Incremental;
   };
-  static const Config Configs[] = {{1, true}, {4, true}, {1, false},
-                                   {4, false}};
-  PipelineOutcome Reference =
-      runPipelineConfig(Source, Configs[0].Jobs, Configs[0].Cache, Fault);
+  // The last row pits the incremental reactive engine against the
+  // rebuild-everything path: NBA/arena reuse must never change any
+  // observable output.
+  static const Config Configs[] = {{1, true, true},
+                                   {4, true, true},
+                                   {1, false, true},
+                                   {4, false, true},
+                                   {1, true, false}};
+  PipelineOutcome Reference = runPipelineConfig(
+      Source, Configs[0].Jobs, Configs[0].Cache, Configs[0].Incremental,
+      Fault);
   if (!Reference.Parsed)
     return "";
   for (size_t I = 1; I < std::size(Configs); ++I) {
     PipelineOutcome Other =
-        runPipelineConfig(Source, Configs[I].Jobs, Configs[I].Cache, Fault);
+        runPipelineConfig(Source, Configs[I].Jobs, Configs[I].Cache,
+                          Configs[I].Incremental, Fault);
     if (Other == Reference)
       continue;
+    std::string ConfigStr =
+        "jobs=" + std::to_string(Configs[I].Jobs) + " cache=" +
+        (Configs[I].Cache ? "on" : "off") +
+        (Configs[I].Incremental ? "" : " incremental=off");
     std::string What;
     if (Other.Status != Reference.Status)
       What = "status '" + Reference.Status + "' vs '" + Other.Status + "'";
     else if (Other.Assumptions != Reference.Assumptions)
       What = "assumption sets differ:\n--- jobs=1\n" + Reference.Assumptions +
-             "--- jobs=" + std::to_string(Configs[I].Jobs) + " cache=" +
-             (Configs[I].Cache ? "on" : "off") + "\n" + Other.Assumptions;
+             "--- " + ConfigStr + "\n" + Other.Assumptions;
     else if (Other.Js != Reference.Js)
       What = "emitted JavaScript differs";
     else if (Other.Cpp != Reference.Cpp)
       What = "emitted C++ differs";
     else
       What = "diagnostics differ";
-    return "jobs=" + std::to_string(Configs[I].Jobs) + " cache=" +
-           (Configs[I].Cache ? "on" : "off") +
-           " disagrees with the reference: " + What;
+    return ConfigStr + " disagrees with the reference: " + What;
   }
   return "";
 }

@@ -17,12 +17,23 @@
 ///   temos --lazy spec.tslmt          use the lazy assumption strategy
 ///   temos --benchmark NAME           run a bundled Table-1 benchmark
 ///   temos --list                     list the bundled benchmarks
+///   temos --bench-json[=PATH] ...    also write the machine-readable
+///                                    temos-bench-v1 run record (default
+///                                    BENCH_<name>.json in the current
+///                                    directory)
+///   temos --repeat N ...             run the pipeline N times on one
+///                                    synthesizer; the bench record's
+///                                    "repeat" object then shows the
+///                                    incremental engine's cross-run
+///                                    reuse (summary/emission still
+///                                    reflect the first run)
 ///
 /// The pre-redesign spellings --js, --cpp and --assumptions still work
 /// as deprecated aliases for the corresponding --emit=... values.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "benchmarks/BenchJson.h"
 #include "benchmarks/Benchmarks.h"
 #include "codegen/CodeEmitter.h"
 #include "codegen/Interpreter.h"
@@ -33,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -44,8 +56,8 @@ int usage(const char *Program) {
   std::fprintf(
       stderr,
       "usage: %s [--emit=<js|cpp|assumptions|summary>] [--jobs N] "
-      "[--no-cache] [--simulate N] [--lazy] "
-      "(spec.tslmt | --benchmark NAME | --list)\n",
+      "[--no-cache] [--simulate N] [--lazy] [--bench-json[=PATH]] "
+      "[--repeat N] (spec.tslmt | --benchmark NAME | --list)\n",
       Program);
   return 2;
 }
@@ -82,6 +94,9 @@ int main(int argc, char **argv) {
   long SimulateSteps = -1;
   const char *Path = nullptr;
   const char *BenchmarkName = nullptr;
+  bool BenchJsonWanted = false;
+  std::string BenchJsonPath;
+  unsigned Repeats = 1;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--list") == 0) {
@@ -106,6 +121,19 @@ int main(int argc, char **argv) {
       Jobs = static_cast<unsigned>(N);
     } else if (std::strcmp(argv[I], "--no-cache") == 0) {
       CacheEnabled = false;
+    } else if (std::strcmp(argv[I], "--bench-json") == 0) {
+      BenchJsonWanted = true;
+    } else if (std::strncmp(argv[I], "--bench-json=", 13) == 0) {
+      BenchJsonWanted = true;
+      BenchJsonPath = argv[I] + 13;
+    } else if (std::strcmp(argv[I], "--repeat") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (N < 1 || End == argv[I] || *End != '\0') {
+        std::fprintf(stderr, "error: --repeat needs a positive run count\n");
+        return usage(argv[0]);
+      }
+      Repeats = static_cast<unsigned>(N);
     } else if (std::strcmp(argv[I], "--js") == 0) {
       warnDeprecated("--js", "--emit=js");
       Emit = EmitKind::Js;
@@ -165,6 +193,37 @@ int main(int argc, char **argv) {
   if (!R.Diagnostic.empty()) {
     std::fprintf(stderr, "error: invalid options: %s\n", R.Diagnostic.c_str());
     return 2;
+  }
+  // Extra runs on the same Synthesizer exercise the incremental engine's
+  // cross-run reuse; everything the tool prints still reflects run one.
+  std::optional<PipelineStats> RepeatStats;
+  for (unsigned I = 1; I < Repeats; ++I)
+    RepeatStats = Synth.run(*Spec, Options).Stats;
+  if (BenchJsonWanted) {
+    // Written for every verdict: a run that degraded to unknown should
+    // fail the perf gate loudly, not silently skip its record.
+    size_t MachineStates = R.Machine ? R.Machine->stateCount() : 0;
+    size_t JsLoc = R.Machine
+                       ? countLines(emitJavaScript(*R.Machine, R.AB, *Spec))
+                       : 0;
+    std::string Json =
+        benchJson(Spec->Name, R.Status, Jobs, CacheEnabled, R.Stats,
+                  MachineStates, JsLoc, RepeatStats ? &*RepeatStats : nullptr);
+    std::string Written;
+    if (!BenchJsonPath.empty()) {
+      std::ofstream Out(BenchJsonPath);
+      if (Out) {
+        Out << Json;
+        Written = BenchJsonPath;
+      }
+    } else {
+      Written = writeBenchJson("", Spec->Name, Json);
+    }
+    if (Written.empty()) {
+      std::fprintf(stderr, "error: cannot write bench JSON\n");
+      return 1;
+    }
+    std::fprintf(stderr, "bench json: %s\n", Written.c_str());
   }
   if (R.Status != Realizability::Realizable) {
     std::fprintf(stderr, "%s: %s\n", Spec->Name.c_str(),

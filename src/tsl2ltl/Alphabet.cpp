@@ -121,6 +121,26 @@ bool Alphabet::holds(const Formula *Atom, const Letter &L) const {
   return Choices[static_cast<size_t>(C)] == static_cast<unsigned>(O);
 }
 
+std::string Alphabet::signatureKey() const {
+  std::string Key;
+  for (const Term *P : Predicates) {
+    Key += 'p';
+    Key += P->str();
+    Key += ';';
+  }
+  for (const CellUpdates &C : Cells) {
+    Key += 'c';
+    Key += C.Cell;
+    Key += '{';
+    for (const Formula *O : C.Options) {
+      Key += O->str();
+      Key += ',';
+    }
+    Key += '}';
+  }
+  return Key;
+}
+
 std::string Alphabet::letterStr(const Letter &L) const {
   std::string Out = "{";
   for (size_t I = 0; I < Predicates.size(); ++I) {

@@ -86,6 +86,13 @@ public:
   /// Human-readable rendering of a letter (for traces and tests).
   std::string letterStr(const Letter &L) const;
 
+  /// A structural key identifying this alphabet: the predicate renderings
+  /// in index order plus every cell's update options in option order.
+  /// Two alphabets with equal keys assign identical meanings to input
+  /// bits and output letters, so compiled guards and whole automata are
+  /// interchangeable between them. Used by the tableau and NBA caches.
+  std::string signatureKey() const;
+
 private:
   std::vector<const Term *> Predicates;
   std::vector<CellUpdates> Cells;

@@ -178,6 +178,38 @@ TEST_F(SynthesizerTest, OracleMinimizesAssumptions) {
   EXPECT_GE(O.Core.size(), 1u);
 }
 
+TEST_F(SynthesizerTest, TinyReactiveBudgetsSurfaceUnknown) {
+  // Budget exhaustion inside the reactive engine must reach the
+  // pipeline verdict as Unknown -- never as Unrealizable, which would
+  // wrongly claim the spec has no controller.
+  const char *Source = R"(
+    #LIA#
+    cells { int x = 0; }
+    always guarantee {
+      [x <- x + 1] || [x <- x - 1];
+      x = 0 -> F (x = 2);
+    }
+  )";
+  {
+    Specification Spec = parse(Source);
+    Synthesizer Synth(Ctx);
+    PipelineOptions Options;
+    Options.Reactive.StateBudget = 1;
+    PipelineResult R = Synth.run(Spec, Options);
+    EXPECT_EQ(R.Status, Realizability::Unknown);
+    EXPECT_FALSE(R.Machine.has_value());
+  }
+  {
+    Specification Spec = parse(Source);
+    Synthesizer Synth(Ctx);
+    PipelineOptions Options;
+    Options.Reactive.Tableau.MaxGeneralizedStates = 1;
+    PipelineResult R = Synth.run(Spec, Options);
+    EXPECT_EQ(R.Status, Realizability::Unknown);
+    EXPECT_FALSE(R.Machine.has_value());
+  }
+}
+
 TEST_F(SynthesizerTest, UnrealizableSpecReported) {
   // x must eventually exceed any input... the guarantee G p over an
   // environment-controlled predicate is hopeless.

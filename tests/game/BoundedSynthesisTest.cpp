@@ -178,6 +178,68 @@ TEST_F(BoundedSynthesisTest, CheckRealizableAgreesWithSynthesize) {
   EXPECT_EQ(checkRealizable(Bad, Ctx, A2), Realizability::Unrealizable);
 }
 
+TEST_F(BoundedSynthesisTest, TinyStateBudgetReportsUnknown) {
+  // A realizable spec under a starvation budget must degrade to
+  // Unknown -- never be misreported Unrealizable -- and the pre-insert
+  // check must keep the arena at or under the budget.
+  const Formula *F = formula("G (p -> X [x <- x + 1])");
+  AB = Alphabet::build(Spec, Ctx, {F});
+  SynthesisOptions Tiny;
+  Tiny.StateBudget = 1;
+  auto R = synthesizeLtl(F, Ctx, AB, Tiny);
+  EXPECT_EQ(R.Status, Realizability::Unknown);
+  EXPECT_FALSE(R.Machine.has_value());
+  EXPECT_LE(R.Stats.GameStates, Tiny.StateBudget);
+  EXPECT_EQ(checkRealizable(F, Ctx, AB, Tiny), Realizability::Unknown);
+}
+
+TEST_F(BoundedSynthesisTest, TinyStateBudgetUnknownThroughEngine) {
+  // Same through a held engine, both incremental modes.
+  const Formula *F = formula("G (p -> X [x <- x + 1])");
+  AB = Alphabet::build(Spec, Ctx, {F});
+  for (bool Incremental : {true, false}) {
+    SynthesisOptions Tiny;
+    Tiny.StateBudget = 1;
+    Tiny.Incremental = Incremental;
+    SynthesisEngine Engine;
+    auto R = Engine.synthesize(F, Ctx, AB, Tiny);
+    EXPECT_EQ(R.Status, Realizability::Unknown) << Incremental;
+    EXPECT_LE(R.Stats.GameStates, Tiny.StateBudget) << Incremental;
+  }
+}
+
+TEST_F(BoundedSynthesisTest, TableauBudgetReportsUnknown) {
+  // Exhausting the tableau's budget mid-construction must surface as
+  // Unknown, and a BudgetExceeded automaton must never enter the NBA
+  // cache: a later call with sane limits succeeds on the same engine.
+  const Formula *F = formula("G (p -> X [x <- x + 1])");
+  AB = Alphabet::build(Spec, Ctx, {F});
+  SynthesisEngine Engine;
+  SynthesisOptions Tiny;
+  Tiny.Tableau.MaxGeneralizedStates = 1;
+  auto R = Engine.synthesize(F, Ctx, AB, Tiny);
+  EXPECT_EQ(R.Status, Realizability::Unknown);
+  EXPECT_TRUE(R.Stats.Tableau.BudgetExceeded);
+  EXPECT_FALSE(R.Machine.has_value());
+
+  auto Sane = Engine.synthesize(F, Ctx, AB);
+  EXPECT_EQ(Sane.Status, Realizability::Realizable);
+  EXPECT_FALSE(Sane.Stats.NbaCacheHit);
+}
+
+TEST_F(BoundedSynthesisTest, BudgetRecoveryAfterRaise) {
+  // Raising a previously exhausting state budget on the same engine
+  // rebuilds the arena and succeeds.
+  const Formula *F = formula("G (p -> X [x <- x + 1])");
+  AB = Alphabet::build(Spec, Ctx, {F});
+  SynthesisEngine Engine;
+  SynthesisOptions Tiny;
+  Tiny.StateBudget = 1;
+  EXPECT_EQ(Engine.synthesize(F, Ctx, AB, Tiny).Status,
+            Realizability::Unknown);
+  EXPECT_EQ(Engine.synthesize(F, Ctx, AB).Status, Realizability::Realizable);
+}
+
 TEST_F(BoundedSynthesisTest, MachineEdgesAreTotal) {
   auto R = synth("G (p -> [x <- x + 1])");
   ASSERT_EQ(R.Status, Realizability::Realizable);

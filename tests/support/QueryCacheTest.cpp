@@ -90,6 +90,74 @@ TEST(QueryCache, CanonicalKeyResistsConcatenationCollisions) {
   EXPECT_NE(AbC, ABc);
 }
 
+TEST(QueryCache, EvictsLeastRecentlyUsedAtCapacity) {
+  QueryCache Cache(2);
+  EXPECT_EQ(Cache.capacity(), 2u);
+  Cache.insert("a", 1);
+  Cache.insert("b", 2);
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_TRUE(Cache.lookup("a").has_value());
+  Cache.insert("c", 3);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_TRUE(Cache.lookup("a").has_value());
+  EXPECT_TRUE(Cache.lookup("c").has_value());
+  EXPECT_FALSE(Cache.lookup("b").has_value());
+}
+
+TEST(QueryCache, ReinsertRefreshesRecencyWithoutEvicting) {
+  QueryCache Cache(2);
+  Cache.insert("a", 1);
+  Cache.insert("b", 2);
+  // Overwriting "a" must not evict anything and must move "a" to the
+  // front, so the next insert evicts "b".
+  Cache.insert("a", 9);
+  EXPECT_EQ(Cache.evictions(), 0u);
+  Cache.insert("c", 3);
+  EXPECT_FALSE(Cache.lookup("b").has_value());
+  std::optional<int> A = Cache.lookup("a");
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, 9);
+}
+
+TEST(QueryCache, ZeroCapacityMeansUnbounded) {
+  QueryCache Cache(0);
+  for (int I = 0; I < 1000; ++I)
+    Cache.insert("k" + std::to_string(I), I);
+  EXPECT_EQ(Cache.size(), 1000u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+}
+
+TEST(QueryCache, ClearResetsEvictions) {
+  QueryCache Cache(1);
+  Cache.insert("a", 1);
+  Cache.insert("b", 2);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.evictions(), 0u);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(QueryCache, ConcurrentUseUnderCapacityPressureStaysCoherent) {
+  // Eviction under contention: counts stay coherent and every lookup
+  // that hits returns the verdict originally stored for that key.
+  QueryCache Cache(4);
+  SolverPool Pool(4);
+  std::atomic<int> Bad{0};
+  Pool.forEach(256, [&](size_t I) {
+    std::string Key = "k" + std::to_string(I % 16);
+    if (std::optional<int> Verdict = Cache.lookup(Key)) {
+      if (*Verdict != int(I % 16))
+        ++Bad;
+    } else {
+      Cache.insert(Key, int(I % 16));
+    }
+  });
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Cache.hits() + Cache.misses(), 256u);
+  EXPECT_LE(Cache.size(), 4u);
+}
+
 TEST(QueryCache, ConcurrentMixedUseKeepsCountsConsistent) {
   // Hammer one cache from a pool: every lookup is either a hit or a
   // miss, and the stored verdict for a key never changes.

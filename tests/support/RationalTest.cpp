@@ -96,6 +96,58 @@ TEST(Rational, ParseRejectsGarbage) {
   EXPECT_FALSE(Rational::parse("1/", R));
 }
 
+// The overflow guard must hold in release builds too: these tests run
+// identically under NDEBUG, where the previous assert-based narrowing
+// compiled out and silently wrapped.
+TEST(Rational, OverflowThrowsInReleaseBuilds) {
+  Rational Huge(INT64_MAX);
+  EXPECT_THROW(Huge + Rational(1), RationalOverflow);
+  EXPECT_THROW(Huge * Rational(2), RationalOverflow);
+  EXPECT_THROW(Rational(INT64_MIN) - Rational(1), RationalOverflow);
+  // (2^62)/1 * (2^62)/1 overflows even after gcd reduction.
+  int64_t Big = int64_t(1) << 62;
+  EXPECT_THROW(Rational(Big) * Rational(Big), RationalOverflow);
+  // RationalOverflow is catchable as std::overflow_error.
+  EXPECT_THROW(Huge + Rational(1), std::overflow_error);
+}
+
+TEST(Rational, Int64MinEdgeCases) {
+  // INT64_MIN has no int64 negation; these used to be UB, now they are
+  // either exact or a clean throw.
+  EXPECT_THROW(-Rational(INT64_MIN), RationalOverflow);
+  EXPECT_THROW(Rational(1, INT64_MIN), RationalOverflow);
+  // INT64_MIN / 2 reduces to a representable value.
+  Rational R(INT64_MIN, 2);
+  EXPECT_EQ(R.numerator(), INT64_MIN / 2);
+  EXPECT_EQ(R.denominator(), 1);
+  // INT64_MIN / -k flips sign out of range.
+  EXPECT_THROW(Rational(INT64_MIN, -1), RationalOverflow);
+  EXPECT_EQ(Rational(INT64_MIN).floor(), INT64_MIN);
+  EXPECT_EQ(Rational(INT64_MIN).ceil(), INT64_MIN);
+  EXPECT_EQ(Rational(INT64_MIN, 3).ceil(), INT64_MIN / 3);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), RationalOverflow);
+  EXPECT_THROW(Rational(1) / Rational(0), RationalOverflow);
+}
+
+TEST(Rational, ParseRejectsOverflowingValues) {
+  Rational R;
+  // Exceeds int64 after canonicalization; parse reports malformed input
+  // instead of letting the overflow escape.
+  EXPECT_FALSE(Rational::parse("-9223372036854775808/-1", R));
+  EXPECT_FALSE(Rational::parse("9223372036854775807.9", R));
+}
+
+TEST(Rational, NearLimitArithmeticStaysExact) {
+  // Values near the limit that do NOT overflow must still be exact.
+  Rational A(INT64_MAX - 1);
+  EXPECT_EQ(A + Rational(1), Rational(INT64_MAX));
+  EXPECT_EQ(Rational(INT64_MAX) - Rational(INT64_MAX), Rational(0));
+  EXPECT_EQ(Rational(INT64_MAX) / Rational(INT64_MAX), Rational(1));
+}
+
 TEST(DeltaRational, StrictBoundOrdering) {
   // x <= 3 - delta < 3: models x < 3 exactly.
   DeltaRational StrictBelow3(Rational(3), Rational(-1));
