@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Validate a temos-bench-v1 record and gate on perf regressions.
 
-Usage: check_bench_json.py CURRENT.json [BASELINE.json]
+Usage: check_bench_json.py [--expect-status=STATUS] CURRENT.json [BASELINE.json]
 
-Checks that CURRENT.json has the temos-bench-v1 shape, that the run was
-realizable, and -- when the record carries a "repeat" object -- that the
-incremental engine's cross-run reuse actually fired (nba_cache.hits > 0
-and no slower game phase than the cold run).
+Checks that CURRENT.json has the temos-bench-v1 shape, that the run had
+the expected status (realizable by default), and -- when the record
+carries a "repeat" object -- that the incremental engine's cross-run
+reuse actually fired (nba_cache.hits > 0 and no slower game phase than
+the cold run).
+
+Every record carries a "failures" array (empty on a clean run). A
+realizable run must have no failures; with --expect-status=unknown the
+run must instead carry at least one structured failure record (that is
+the degraded-path contract: a budget-exhausted run never comes back
+empty-handed about why).
 
 With BASELINE.json, also fails if the current synthesis wall time
 regresses by more than 25% against the baseline. Timings below a 0.25s
@@ -23,13 +30,17 @@ FLOOR_SECONDS = 0.25
 REQUIRED_KEYS = [
     "schema", "name", "status", "jobs", "cache", "spec", "phases",
     "refinements", "reactive_runs", "game_states", "smt_cache",
-    "nba_cache", "expansion_cache", "reactive", "machine_states", "js_loc",
+    "nba_cache", "expansion_cache", "reactive", "failures",
+    "machine_states", "js_loc",
 ]
 PHASE_KEYS = ["psi_gen_wall_s", "psi_gen_cpu_s", "synthesis_wall_s",
               "synthesis_cpu_s"]
 REACTIVE_KEYS = ["round", "status", "bound", "nba_cache_hit",
                  "arena_states_reused", "game_states", "nba_wall_s",
                  "game_wall_s"]
+FAILURE_KEYS = ["kind", "phase", "detail"]
+FAILURE_KINDS = ["timeout", "state-budget", "overflow", "worker-exception",
+                 "internal"]
 
 
 def fail(message):
@@ -37,7 +48,26 @@ def fail(message):
     sys.exit(1)
 
 
-def check_shape(doc):
+def check_failures(doc, expect_status):
+    failures = doc.get("failures")
+    if not isinstance(failures, list):
+        fail("failures missing or not a list")
+    for entry in failures:
+        for key in FAILURE_KEYS:
+            if not isinstance(entry.get(key), str):
+                fail(f"failure entry missing string {key!r}: {entry!r}")
+        if entry["kind"] not in FAILURE_KINDS:
+            fail(f"unknown failure kind {entry['kind']!r}")
+        if not entry["detail"]:
+            fail("failure entry has an empty detail")
+    if expect_status == "realizable" and failures:
+        fail(f"realizable run carries {len(failures)} failure record(s)")
+    if expect_status == "unknown" and not failures:
+        fail("unknown run carries no failure records: the degraded path "
+             "must say why it gave up")
+
+
+def check_shape(doc, expect_status="realizable"):
     if doc.get("schema") != "temos-bench-v1":
         fail(f"unexpected schema {doc.get('schema')!r}")
     for key in REQUIRED_KEYS:
@@ -46,14 +76,19 @@ def check_shape(doc):
     for key in PHASE_KEYS:
         if not isinstance(doc["phases"].get(key), (int, float)):
             fail(f"phases.{key} missing or not a number")
-    if not isinstance(doc["reactive"], list) or not doc["reactive"]:
-        fail("reactive array missing or empty")
+    if not isinstance(doc["reactive"], list):
+        fail("reactive array missing")
+    # A degraded run may never have reached the reactive phase; a
+    # realizable one must have.
+    if expect_status == "realizable" and not doc["reactive"]:
+        fail("reactive array empty")
     for entry in doc["reactive"]:
         for key in REACTIVE_KEYS:
             if key not in entry:
                 fail(f"reactive entry missing {key!r}")
-    if doc["status"] != "realizable":
-        fail(f"run was {doc['status']}, expected realizable")
+    check_failures(doc, expect_status)
+    if doc["status"] != expect_status:
+        fail(f"run was {doc['status']}, expected {expect_status}")
 
 
 def check_repeat(doc):
@@ -88,15 +123,24 @@ def check_baseline(doc, baseline):
 
 
 def main(argv):
-    if len(argv) not in (2, 3):
+    expect_status = "realizable"
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--expect-status="):
+            expect_status = arg.split("=", 1)[1]
+            if expect_status not in ("realizable", "unrealizable", "unknown"):
+                fail(f"bad --expect-status value {expect_status!r}")
+        else:
+            positional.append(arg)
+    if len(positional) not in (1, 2):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as handle:
+    with open(positional[0]) as handle:
         doc = json.load(handle)
-    check_shape(doc)
+    check_shape(doc, expect_status)
     check_repeat(doc)
-    if len(argv) == 3:
-        with open(argv[2]) as handle:
+    if len(positional) == 2:
+        with open(positional[1]) as handle:
             baseline = json.load(handle)
         check_shape(baseline)
         check_baseline(doc, baseline)

@@ -23,6 +23,37 @@ TEMOS_BIN="$(cd "$BUILD_DIR" && pwd)/src/tools/temos"
 python3 scripts/check_bench_json.py "$SMOKE_DIR/BENCH_Vibrato.json" \
   bench/baselines/BENCH_Vibrato.baseline.json
 
+echo "== degraded path: injected hang must trip the deadline =="
+# A planted non-terminating SyGuS search under a 2s budget: the CLI must
+# come back with the resource-exhausted exit code (4), a degraded bench
+# record carrying failure entries, and a replayable artifact. timeout(1)
+# at 30s is the backstop for a deadline regression that hangs outright.
+DEGRADED_DIR="$SMOKE_DIR/degraded"
+mkdir -p "$DEGRADED_DIR"
+set +e
+(cd "$DEGRADED_DIR" &&
+  timeout 30 "$TEMOS_BIN" --benchmark Vibrato --time-budget 2 \
+    --inject-fault=spin-hang --artifacts artifacts --bench-json \
+    >/dev/null 2>&1)
+DEGRADED_EXIT=$?
+set -e
+if [ "$DEGRADED_EXIT" -ne 4 ]; then
+  echo "degraded run exited $DEGRADED_EXIT, expected 4 (resource exhausted)"
+  exit 1
+fi
+test -f "$DEGRADED_DIR/artifacts/temos-artifact-Vibrato.tslmt"
+python3 scripts/check_bench_json.py --expect-status=unknown \
+  "$DEGRADED_DIR/BENCH_Vibrato.json"
+set +e
+"$BUILD_DIR/src/tools/temos-fuzz" \
+  --replay "$DEGRADED_DIR/artifacts/temos-artifact-Vibrato.tslmt" >/dev/null
+REPLAY_EXIT=$?
+set -e
+if [ "$REPLAY_EXIT" -ne 1 ]; then
+  echo "artifact replay exited $REPLAY_EXIT, expected 1 (reproduces)"
+  exit 1
+fi
+
 echo "== tier 5: ThreadSanitizer on the solver-service tests =="
 scripts/run_tsan.sh
 

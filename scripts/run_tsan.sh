@@ -11,8 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
+# TSan costs ~10-20x wall clock, so the per-test timeout backstop gets
+# a matching raise; it still catches an outright hang.
 cmake -B "$BUILD_DIR" -S . -DTEMOS_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTEMOS_TEST_TIMEOUT=3600
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target test_support test_core
 
 # halt_on_error keeps a race from scrolling past; second_deadlock_stack

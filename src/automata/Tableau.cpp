@@ -414,6 +414,13 @@ Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
         Stats->BudgetExceeded = true;
       return Nba();
     }
+    if (Limits.Dl.expired()) {
+      if (Stats) {
+        Stats->BudgetExceeded = true;
+        Stats->TimedOut = true;
+      }
+      return Nba();
+    }
     const std::vector<CompiledBranch> &Branches = ExpandCompiled(StateSets[S]);
     std::set<std::string> Seen;
     for (const CompiledBranch &B : Branches) {
@@ -455,6 +462,13 @@ Nba temos::buildNba(const Formula *F, Context &Ctx, const Alphabet &AB,
   Result.setInitial(InitialNba);
   size_t TransitionCount = 0;
   while (!Pending.empty()) {
+    if (Limits.Dl.expired()) {
+      if (Stats) {
+        Stats->BudgetExceeded = true;
+        Stats->TimedOut = true;
+      }
+      return Nba();
+    }
     auto [Gen, Level] = Pending.back();
     Pending.pop_back();
     uint32_t From = NbaIds.at({Gen, Level});

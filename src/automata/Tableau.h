@@ -20,6 +20,7 @@
 
 #include "automata/Nba.h"
 #include "logic/Specification.h"
+#include "support/Deadline.h"
 
 #include <memory>
 
@@ -34,12 +35,21 @@ struct TableauStats {
   /// Construction aborted because a resource budget was exceeded; the
   /// returned automaton is unusable and callers must report Unknown.
   bool BudgetExceeded = false;
+  /// The budget that tripped was the cooperative deadline (wall clock),
+  /// not a state/transition count. Only meaningful with BudgetExceeded.
+  bool TimedOut = false;
 };
 
 /// Resource budgets for the construction (exceeded -> BudgetExceeded).
 struct TableauLimits {
   size_t MaxGeneralizedStates = 20000;
   size_t MaxTransitions = 2000000;
+  /// Cooperative deadline polled once per expanded state and per
+  /// degeneralization wave. NOT part of the construction's identity:
+  /// cache keys (the engine's limitsKey) cover only the numeric budgets
+  /// above, which is sound because a deadline can only abort a build
+  /// (never-cached) -- it cannot change a completed automaton.
+  Deadline Dl;
 };
 
 class TableauCache;

@@ -99,6 +99,18 @@ std::string statsBody(const PipelineStats &S, const std::string &Indent) {
          ", \"game_wall_s\": " + jsonNum(R.GameSeconds) + "}";
   }
   J += S.ReactiveDetail.empty() ? "]" : "\n" + Indent + "]";
+  J += ",\n";
+  // Always present (empty on a clean run), so consumers can gate on
+  // degraded runs without probing for the key.
+  J += Indent + "\"failures\": [";
+  for (size_t I = 0; I < S.Failures.size(); ++I) {
+    const FailureRecord &F = S.Failures[I];
+    J += I == 0 ? "\n" : ",\n";
+    J += Indent + "  {\"kind\": " + jsonStr(failureKindName(F.Kind)) +
+         ", \"phase\": " + jsonStr(F.Phase) +
+         ", \"detail\": " + jsonStr(F.Detail) + "}";
+  }
+  J += S.Failures.empty() ? "]" : "\n" + Indent + "]";
   return J;
 }
 

@@ -61,6 +61,15 @@ public:
   /// \p Service (shared query cache across workers and runs).
   void setService(SolverService *S) { Solver.setService(S); }
 
+  /// Attaches a cooperative deadline to the inner SyGuS solver (and its
+  /// private SMT solver); generate() throws DeadlineExpired mid-search
+  /// when it trips.
+  void setDeadline(const Deadline &D) { Solver.setDeadline(D); }
+
+  /// Fault injection passthrough: makes the inner enumeration
+  /// deliberately non-terminating (see SygusSolver::Options).
+  void setSpinHangForTesting(bool On) { Solver.Opts.SpinHangForTesting = On; }
+
   struct Options {
     /// Sequential search depth for reachability obligations before
     /// falling back to loop synthesis.

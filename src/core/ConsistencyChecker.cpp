@@ -57,6 +57,7 @@ ConsistencyResult checkSerial(const std::vector<const Term *> &Predicates,
                               SolverService *Service) {
   ConsistencyResult Result;
   SmtSolver Solver(Th);
+  Solver.setDeadline(Options.Dl);
   const size_t N = Predicates.size();
 
   // Combinations already found unsatisfiable (as bitmasks), used to skip
@@ -77,10 +78,24 @@ ConsistencyResult checkSerial(const std::vector<const Term *> &Predicates,
         continue;
     }
 
+    // Degrade gracefully on deadline expiry: skip the remaining
+    // combinations but keep everything found so far (each emitted
+    // assumption is individually valid).
+    if (Options.Dl.expired()) {
+      ++Result.DeadlineSkipped;
+      continue;
+    }
+
     std::vector<TheoryLiteral> Literals = maskLiterals(Mask, Predicates);
     ++Result.SolverQueries;
-    SatResult R = Service ? Service->checkLiterals(Literals)
-                          : Solver.checkLiterals(Literals);
+    SatResult R;
+    try {
+      R = Service ? Service->checkLiterals(Literals)
+                  : Solver.checkLiterals(Literals);
+    } catch (const DeadlineExpired &) {
+      ++Result.DeadlineSkipped;
+      continue;
+    }
     if (R != SatResult::Unsat)
       continue;
 
@@ -115,26 +130,38 @@ ConsistencyResult checkParallel(const std::vector<const Term *> &Predicates,
   std::vector<Verdict> Verdicts(Masks.size(), Verdict::Skipped);
   UnsatCoreStore Cores;
   std::atomic<size_t> Queries{0};
+  std::atomic<size_t> DeadlineSkipped{0};
 
   Service.pool().forEach(Masks.size(), [&](size_t I) {
     uint32_t Mask = Masks[I];
     if (Options.MinimalCoresOnly && Cores.subsumes(Mask))
       return; // Verdict stays Skipped.
+    // Degraded mode: past the deadline, tasks become no-ops and the
+    // post-filter emits whatever the completed checks establish.
+    if (Options.Dl.expired()) {
+      DeadlineSkipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     Queries.fetch_add(1, std::memory_order_relaxed);
-    switch (Service.checkLiterals(maskLiterals(Mask, Predicates))) {
-    case SatResult::Unsat:
-      Verdicts[I] = Verdict::Unsat;
-      Cores.publish(Mask);
-      break;
-    case SatResult::Sat:
-      Verdicts[I] = Verdict::Sat;
-      break;
-    case SatResult::Unknown:
-      Verdicts[I] = Verdict::Unknown;
-      break;
+    try {
+      switch (Service.checkLiterals(maskLiterals(Mask, Predicates))) {
+      case SatResult::Unsat:
+        Verdicts[I] = Verdict::Unsat;
+        Cores.publish(Mask);
+        break;
+      case SatResult::Sat:
+        Verdicts[I] = Verdict::Sat;
+        break;
+      case SatResult::Unknown:
+        Verdicts[I] = Verdict::Unknown;
+        break;
+      }
+    } catch (const DeadlineExpired &) {
+      DeadlineSkipped.fetch_add(1, std::memory_order_relaxed);
     }
   });
   Result.SolverQueries = Queries.load();
+  Result.DeadlineSkipped = DeadlineSkipped.load();
 
   // Deterministic merge: accept in (size, value) order, filtering
   // supersets of accepted cores exactly like the serial sweep.

@@ -27,6 +27,7 @@
 #define TEMOS_CORE_CONSISTENCYCHECKER_H
 
 #include "logic/Specification.h"
+#include "support/Deadline.h"
 #include "theory/SmtSolver.h"
 #include "theory/SolverService.h"
 
@@ -43,6 +44,12 @@ struct ConsistencyOptions {
   /// already-unsat set are skipped). Off reproduces the paper's plain
   /// powerset enumeration.
   bool MinimalCoresOnly = true;
+  /// Cooperative deadline, polled once per candidate combination. On
+  /// expiry the sweep degrades gracefully: remaining combinations are
+  /// skipped (counted in ConsistencyResult::DeadlineSkipped) and the
+  /// assumptions found so far are still emitted -- each one is valid on
+  /// its own, so a partial sweep only under-constrains the environment.
+  Deadline Dl;
 };
 
 /// Result of a consistency-checking run.
@@ -54,6 +61,11 @@ struct ConsistencyResult {
   /// workers the count can vary with scheduling -- opportunistic
   /// pruning races -- while the assumption list never does.
   size_t SolverQueries = 0;
+  /// Candidate combinations not checked because the deadline expired
+  /// mid-sweep (either skipped before their query or aborted inside
+  /// it). Non-zero means Assumptions is a valid-but-incomplete prefix
+  /// of the full sweep's output.
+  size_t DeadlineSkipped = 0;
 };
 
 /// Runs consistency checking over the predicate literals of \p Spec.

@@ -3,6 +3,7 @@
 #include "core/Synthesizer.h"
 
 #include "logic/Simplify.h"
+#include "support/Rational.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -28,6 +29,13 @@ std::string PipelineOptions::validate() const {
     return "MaxRefinements > 0 with MaxSygusAssumptions == 0: the "
            "refinement loop (Alg. 4) only ever replaces SyGuS-generated "
            "assumptions, so there is nothing it could refine";
+  if (Budget.TotalSeconds < 0 || Budget.ConsistencySeconds < 0 ||
+      Budget.SygusSeconds < 0 || Budget.ReactiveSeconds < 0)
+    return "time budgets must be non-negative (0 means unlimited)";
+  if (InjectSpinHang && Budget.TotalSeconds == 0 && Budget.SygusSeconds == 0)
+    return "InjectSpinHang without a total or SyGuS time budget would spin "
+           "forever: the injected fault is only ever exited through a "
+           "deadline poll";
   return "";
 }
 
@@ -44,6 +52,22 @@ const Formula *Synthesizer::formulaWithAssumptions(
   return Ctx.Formulas.implies(Ctx.Formulas.andF(std::move(Assume)), Guar);
 }
 
+namespace {
+
+/// Builds the Unknown result for an exception that unwound the whole
+/// pipeline (as opposed to the per-phase degradations, which keep their
+/// partial results).
+PipelineResult pipelineFailure(FailureKind Kind, std::string Detail) {
+  PipelineResult Result;
+  Result.Status = Realizability::Unknown;
+  Result.Diagnostic = "pipeline aborted: " + Detail;
+  Result.Stats.Failures.push_back(
+      {Kind, "pipeline", std::move(Detail)});
+  return Result;
+}
+
+} // namespace
+
 PipelineResult Synthesizer::run(const Specification &Spec,
                                 const PipelineOptions &Options) {
   if (std::string Problem = Options.validate(); !Problem.empty()) {
@@ -52,7 +76,22 @@ PipelineResult Synthesizer::run(const Specification &Spec,
     Result.Diagnostic = std::move(Problem);
     return Result;
   }
-  return Options.Eager ? runEager(Spec, Options) : runLazy(Spec, Options);
+  // Failure containment: nothing thrown below this frame terminates the
+  // process. Per-phase handlers degrade in place (keeping partial
+  // results); anything that still unwinds to here -- including worker
+  // exceptions rethrown deterministically at SolverPool::wait() -- is
+  // mapped onto the failure taxonomy and reported as Unknown.
+  try {
+    return Options.Eager ? runEager(Spec, Options) : runLazy(Spec, Options);
+  } catch (const DeadlineExpired &E) {
+    return pipelineFailure(FailureKind::Timeout, E.what());
+  } catch (const RationalOverflow &E) {
+    return pipelineFailure(FailureKind::Overflow, E.what());
+  } catch (const std::exception &E) {
+    return pipelineFailure(FailureKind::WorkerException, E.what());
+  } catch (...) {
+    return pipelineFailure(FailureKind::Internal, "unknown exception");
+  }
 }
 
 SolverService &Synthesizer::ensureService(Theory Th,
@@ -90,22 +129,63 @@ size_t specSize(const Specification &Spec) {
   return Total;
 }
 
+/// Deadline for a phase: the phase budget starts ticking now, and the
+/// run-global deadline caps it from above.
+Deadline phaseDeadline(const Deadline &Global, double PhaseSeconds) {
+  Deadline Phase =
+      PhaseSeconds > 0 ? Deadline::after(PhaseSeconds) : Deadline();
+  return Deadline::earlier(Global, Phase);
+}
+
+/// Classifies a reactive-synthesis Unknown into the failure taxonomy:
+/// deadline expiry is a Timeout, the state/transition budgets are
+/// StateBudget.
+void recordReactiveFailure(PipelineResult &Result,
+                           const SynthesisResult &Reactive) {
+  FailureKind Kind = Reactive.Stats.TimedOut ? FailureKind::Timeout
+                                             : FailureKind::StateBudget;
+  std::string Detail;
+  if (Reactive.Stats.Tableau.BudgetExceeded)
+    Detail = Reactive.Stats.TimedOut
+                 ? "deadline expired during UCW construction"
+                 : "tableau state/transition budget exceeded";
+  else
+    Detail = Reactive.Stats.TimedOut
+                 ? "deadline expired during game exploration/solving"
+                 : "game state budget exceeded";
+  Result.Stats.Failures.push_back({Kind, "reactive", std::move(Detail)});
+}
+
 } // namespace
 
 void Synthesizer::generateAssumptions(const Specification &Spec,
                                       const PipelineOptions &Options,
                                       AssumptionGenerator &Generator,
-                                      PipelineResult &Result) {
+                                      PipelineResult &Result,
+                                      const Deadline &Global) {
   Decomposition Decomp = decompose(Spec, Ctx, Options.Decomp);
   Result.Stats.SpecSize = specSize(Spec);
   Result.Stats.PredicateCount = Decomp.PredicateLiterals.size();
   Result.Stats.UpdateTermCount = Decomp.UpdateTerms.size();
 
   SolverService &Svc = ensureService(Spec.Th, Options);
+  ConsistencyOptions ConsOpts = Options.Consistency;
+  if (!ConsOpts.Dl.armed())
+    ConsOpts.Dl = phaseDeadline(Global, Options.Budget.ConsistencySeconds);
+  // The service deadline is (re)set at the start of every phase, so a
+  // deadline left over from a previous phase or run can never leak into
+  // this one's queries.
+  Svc.setDeadline(ConsOpts.Dl);
   ConsistencyResult Consistency = checkConsistency(
-      Decomp.PredicateLiterals, Spec.Th, Ctx, Options.Consistency, &Svc);
+      Decomp.PredicateLiterals, Spec.Th, Ctx, ConsOpts, &Svc);
   Result.ConsistencyAssumptions = Consistency.Assumptions;
   Result.Stats.ConsistencyQueries = Consistency.SolverQueries;
+  if (Consistency.DeadlineSkipped > 0)
+    Result.Stats.Failures.push_back(
+        {FailureKind::Timeout, "consistency",
+         std::to_string(Consistency.DeadlineSkipped) +
+             " literal combinations left unchecked; the emitted "
+             "assumptions remain individually valid"});
 
   // SyGuS per obligation. Obligations are independent, so with pool
   // workers available they are generated concurrently (one
@@ -114,6 +194,12 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
   // obligation order under DeterministicMerge (byte-identical output
   // for every NumThreads value) or completion order otherwise.
   const std::vector<Obligation> &Obs = Decomp.Obligations;
+  const Deadline SygusDl =
+      phaseDeadline(Global, Options.Budget.SygusSeconds);
+  Svc.setDeadline(SygusDl);
+  Generator.setDeadline(SygusDl);
+  Generator.setSpinHangForTesting(Options.InjectSpinHang);
+  size_t TimedOutObligations = 0;
   const bool Parallel = Svc.pool().workerCount() > 0 && Obs.size() > 1;
   std::vector<std::optional<GeneratedAssumption>> Generated;
   std::vector<size_t> Order(Obs.size());
@@ -127,9 +213,22 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
       AssumptionGenerator Worker(Spec, Ctx);
       Worker.Opts = Options.Sygus;
       Worker.setService(&Svc);
-      auto G = Worker.generate(Obs[I]);
+      Worker.setDeadline(SygusDl);
+      Worker.setSpinHangForTesting(Options.InjectSpinHang);
+      // Deadline expiry mid-search marks this obligation unresolved
+      // (nullopt) and lets every other worker finish its own search;
+      // any other exception propagates through the pool's capture +
+      // deterministic rethrow and unwinds the run.
+      std::optional<GeneratedAssumption> G;
+      bool TimedOut = false;
+      try {
+        G = Worker.generate(Obs[I]);
+      } catch (const DeadlineExpired &) {
+        TimedOut = true;
+      }
       std::lock_guard<std::mutex> Lock(CompletionMutex);
       Generated[I] = std::move(G);
+      TimedOutObligations += TimedOut ? 1 : 0;
       Completion.push_back(I);
     });
     if (!Options.Parallelism.DeterministicMerge)
@@ -147,8 +246,18 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
   for (size_t I : Order) {
     if (Result.SygusAssumptions.size() >= Options.MaxSygusAssumptions)
       break;
-    std::optional<GeneratedAssumption> G =
-        Parallel ? std::move(Generated[I]) : Generator.generate(Obs[I]);
+    std::optional<GeneratedAssumption> G;
+    if (Parallel) {
+      G = std::move(Generated[I]);
+    } else {
+      try {
+        G = Generator.generate(Obs[I]);
+      } catch (const DeadlineExpired &) {
+        // Obligation unresolved; the ones already merged stay. Later
+        // obligations still run (and fail fast on the tripped token).
+        ++TimedOutObligations;
+      }
+    }
     if (!G)
       continue;
     if (G->IsLoop && LoopCount >= Options.MaxLoopAssumptions)
@@ -165,6 +274,12 @@ void Synthesizer::generateAssumptions(const Specification &Spec,
     LoopCount += G->IsLoop ? 1 : 0;
     Result.SygusAssumptions.push_back(std::move(*G));
   }
+  if (TimedOutObligations > 0)
+    Result.Stats.Failures.push_back(
+        {FailureKind::Timeout, "sygus",
+         std::to_string(TimedOutObligations) + " of " +
+             std::to_string(Obs.size()) +
+             " obligations unresolved (deadline expired mid-search)"});
 }
 
 void Synthesizer::recordReactiveRun(PipelineResult &Result, unsigned Round,
@@ -184,6 +299,9 @@ void Synthesizer::recordReactiveRun(PipelineResult &Result, unsigned Round,
 PipelineResult Synthesizer::runEager(const Specification &Spec,
                                      const PipelineOptions &Options) {
   PipelineResult Result;
+  const Deadline Global = Options.Budget.TotalSeconds > 0
+                              ? Deadline::after(Options.Budget.TotalSeconds)
+                              : Deadline();
   SolverService &Svc = ensureService(Spec.Th, Options);
   const size_t Hits0 = Svc.cache().hits();
   const size_t Misses0 = Svc.cache().misses();
@@ -209,7 +327,7 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
   AssumptionGenerator Generator(Spec, Ctx);
   Generator.Opts = Options.Sygus;
   Generator.setService(&Svc);
-  generateAssumptions(Spec, Options, Generator, Result);
+  generateAssumptions(Spec, Options, Generator, Result, Global);
 
   Result.Stats.PsiGenSeconds = PsiTimer.seconds();
   Result.Stats.PsiGenCpuSeconds = PsiCpu.seconds();
@@ -217,6 +335,15 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
   // --- Reactive synthesis + refinement loop (Sec. 4.4, Alg. 4). ----------
   Timer SynthTimer;
   CpuTimer SynthCpu;
+  // One deadline covers the whole phase: every reactive invocation and
+  // every refinement re-synthesis shares it.
+  const Deadline SynthDl =
+      phaseDeadline(Global, Options.Budget.ReactiveSeconds);
+  Svc.setDeadline(SynthDl);
+  Generator.setDeadline(SynthDl);
+  SynthesisOptions ReactiveOpts = Options.Reactive;
+  if (!ReactiveOpts.Dl.armed())
+    ReactiveOpts.Dl = SynthDl;
   // Per-obligation exclusion lists for refinement.
   std::vector<std::vector<SequentialProgram>> ExcludedSeq(
       Result.SygusAssumptions.size());
@@ -239,7 +366,7 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
 
     ++Result.Stats.ReactiveRuns;
     SynthesisResult Reactive =
-        Engine.synthesize(Phi, Ctx, Result.AB, Options.Reactive, &Svc.pool());
+        Engine.synthesize(Phi, Ctx, Result.AB, ReactiveOpts, &Svc.pool());
     recordReactiveRun(Result, Round, Reactive);
     Result.Stats.GameStates =
         std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
@@ -254,6 +381,7 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
     }
     if (Reactive.Status == Realizability::Unknown) {
       Result.Status = Realizability::Unknown;
+      recordReactiveFailure(Result, Reactive);
       Result.Stats.SynthesisSeconds = SynthTimer.seconds();
       Result.Stats.SynthesisCpuSeconds = SynthCpu.seconds();
       CaptureCacheStats();
@@ -295,8 +423,16 @@ PipelineResult Synthesizer::runEager(const Specification &Spec,
         ExcludedLoop[I].push_back(A.Loop);
       else
         ExcludedSeq[I].push_back(A.Sequential);
-      auto Replacement =
-          Generator.generate(A.Ob, ExcludedSeq[I], ExcludedLoop[I]);
+      std::optional<GeneratedAssumption> Replacement;
+      try {
+        Replacement = Generator.generate(A.Ob, ExcludedSeq[I], ExcludedLoop[I]);
+      } catch (const DeadlineExpired &) {
+        // Out of time mid-refinement: fall through to the drop path
+        // (dropping only weakens psi, so the degraded run stays sound).
+        Result.Stats.Failures.push_back(
+            {FailureKind::Timeout, "sygus",
+             "refinement re-synthesis timed out; assumption dropped"});
+      }
       ++Result.Stats.Refinements;
       if (Replacement) {
         A = std::move(*Replacement);
@@ -330,6 +466,9 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
   EagerOptions.Eager = true;
 
   PipelineResult Result;
+  const Deadline Global = Options.Budget.TotalSeconds > 0
+                              ? Deadline::after(Options.Budget.TotalSeconds)
+                              : Deadline();
   SolverService &Svc = ensureService(Spec.Th, Options);
   const size_t Hits0 = Svc.cache().hits();
   const size_t Misses0 = Svc.cache().misses();
@@ -343,12 +482,18 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
   AssumptionGenerator Generator(Spec, Ctx);
   Generator.Opts = Options.Sygus;
   Generator.setService(&Svc);
-  generateAssumptions(Spec, Options, Generator, Result);
+  generateAssumptions(Spec, Options, Generator, Result, Global);
   Result.Stats.PsiGenSeconds = PsiTimer.seconds();
   Result.Stats.PsiGenCpuSeconds = PsiCpu.seconds();
 
   Timer SynthTimer;
   CpuTimer SynthCpu;
+  const Deadline SynthDl =
+      phaseDeadline(Global, Options.Budget.ReactiveSeconds);
+  Svc.setDeadline(SynthDl);
+  SynthesisOptions ReactiveOpts = Options.Reactive;
+  if (!ReactiveOpts.Dl.armed())
+    ReactiveOpts.Dl = SynthDl;
   std::vector<const Formula *> Current = Result.ConsistencyAssumptions;
   size_t NextSygus = 0;
   for (;;) {
@@ -363,7 +508,7 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
 
     ++Result.Stats.ReactiveRuns;
     SynthesisResult Reactive =
-        Engine.synthesize(Phi, Ctx, Result.AB, Options.Reactive, &Svc.pool());
+        Engine.synthesize(Phi, Ctx, Result.AB, ReactiveOpts, &Svc.pool());
     recordReactiveRun(Result, static_cast<unsigned>(NextSygus), Reactive);
     Result.Stats.GameStates =
         std::max(Result.Stats.GameStates, Reactive.Stats.GameStates);
@@ -374,6 +519,7 @@ PipelineResult Synthesizer::runLazy(const Specification &Spec,
     }
     if (Reactive.Status == Realizability::Unknown) {
       Result.Status = Realizability::Unknown;
+      recordReactiveFailure(Result, Reactive);
       break;
     }
     if (NextSygus >= Result.SygusAssumptions.size()) {

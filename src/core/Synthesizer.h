@@ -20,6 +20,7 @@
 #include "core/ConsistencyChecker.h"
 #include "core/Decomposition.h"
 #include "game/BoundedSynthesis.h"
+#include "support/Deadline.h"
 #include "theory/SolverService.h"
 
 #include <memory>
@@ -46,6 +47,22 @@ struct ParallelismOptions {
   bool DeterministicMerge = true;
 };
 
+/// Wall-clock budgets for one pipeline run, in seconds; 0 = unlimited.
+/// Each per-phase budget starts ticking when its phase starts and is
+/// additionally capped by the global budget (whichever deadline falls
+/// earlier wins). Expiry never aborts the process: the affected phase
+/// degrades -- consistency checking emits the (individually valid)
+/// assumptions found so far, SyGuS marks the obligation unresolved,
+/// reactive synthesis reports Unknown -- and every degradation is
+/// recorded as a Timeout entry in PipelineStats::Failures.
+struct TimeBudget {
+  double TotalSeconds = 0;
+  double ConsistencySeconds = 0;
+  double SygusSeconds = 0;
+  /// Covers reactive synthesis plus the Alg. 4 refinement loop.
+  double ReactiveSeconds = 0;
+};
+
 /// Pipeline tunables.
 struct PipelineOptions {
   DecompositionOptions Decomp;
@@ -53,6 +70,7 @@ struct PipelineOptions {
   SynthesisOptions Reactive;
   AssumptionGenerator::Options Sygus;
   ParallelismOptions Parallelism;
+  TimeBudget Budget;
   /// Refinement-loop iterations (Alg. 4) before giving up.
   unsigned MaxRefinements = 8;
   /// Cap on SyGuS-generated assumptions: assumptions beyond the cap are
@@ -72,6 +90,12 @@ struct PipelineOptions {
   /// reactive synthesis after each -- the alternative discussed in
   /// Sec. 5.2, implemented for the ablation bench.
   bool Eager = true;
+  /// Fault injection for the deadline machinery (never set in
+  /// production): makes the SyGuS enumeration deliberately
+  /// non-terminating (see SygusSolver::Options::SpinHangForTesting), so
+  /// the run only finishes if a deadline poll trips. validate() rejects
+  /// this flag without a total or SyGuS time budget.
+  bool InjectSpinHang = false;
 
   /// Checks the option combination for contradictions the pipeline
   /// cannot honor (zero worker threads, a loop-assumption cap above the
@@ -132,6 +156,13 @@ struct PipelineStats {
   /// One entry per reactive invocation (ReactiveRuns entries), in
   /// order. Surfaced via --bench-json; never part of the text summary.
   std::vector<ReactiveRunStats> ReactiveDetail;
+  /// Structured failure taxonomy for this run, in the order the
+  /// degradations happened: deadline expiries (Timeout), resource-budget
+  /// aborts (StateBudget), arithmetic overflow (Overflow), exceptions
+  /// escaping pool workers (WorkerException), and everything else
+  /// (Internal). Empty on a clean run. Surfaced through --emit=summary,
+  /// the bench JSON records, and the CLI exit code.
+  std::vector<FailureRecord> Failures;
 };
 
 /// Result of running the pipeline.
@@ -197,7 +228,7 @@ private:
   void generateAssumptions(const Specification &Spec,
                            const PipelineOptions &Options,
                            AssumptionGenerator &Generator,
-                           PipelineResult &Result);
+                           PipelineResult &Result, const Deadline &Global);
   /// Returns the service to use for this run, (re)creating the lazily
   /// owned one when the theory or parallelism configuration changed.
   SolverService &ensureService(Theory Th, const PipelineOptions &Options);

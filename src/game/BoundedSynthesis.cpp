@@ -147,17 +147,28 @@ public:
   GameArena &operator=(const GameArena &) = delete;
 
   /// Extends exploration so every move of weight <= \p B is present.
-  /// Returns false when the state budget is exhausted (verdict:
-  /// Unknown). With \p Pool, successor cells of a wave of frontier
-  /// states are computed in parallel and merged in deterministic order;
-  /// the arena is identical for every pool width.
-  bool extendTo(unsigned B, SolverPool *Pool);
+  /// Returns false when the state budget is exhausted or \p Dl expired
+  /// (verdict: Unknown; timedOut() distinguishes). With \p Pool,
+  /// successor cells of a wave of frontier states are computed in
+  /// parallel and merged in deterministic order; the arena is identical
+  /// for every pool width. Deadline polls happen only at wave
+  /// boundaries, where the arena is exactly a sequential-execution
+  /// prefix: an interrupted extension can be resumed (or the arena
+  /// reused) without breaking determinism.
+  bool extendTo(unsigned B, SolverPool *Pool, const Deadline &Dl);
 
   /// Solves the bound-\p B safety game over the explored arena,
   /// seeding the fixpoint with winning certificates of bounds <= B and
   /// recording the result as the bound-B certificate. Requires a
-  /// successful extendTo(B).
-  const std::vector<char> &solve(unsigned B);
+  /// successful extendTo(B). Returns null when \p Dl expires
+  /// mid-fixpoint; a partial fixpoint is an over-approximation of the
+  /// winning region, so it is neither returned nor recorded as a
+  /// certificate.
+  const std::vector<char> *solve(unsigned B, const Deadline &Dl);
+
+  /// Whether the last failed extendTo()/solve() was stopped by the
+  /// deadline rather than the state budget.
+  bool timedOut() const { return TimedOut; }
 
   /// Extracts the winning strategy at bound \p B. Requires
   /// initialWinning(solve(B)).
@@ -286,7 +297,7 @@ private:
     ExhaustedBound = B;
   }
 
-  bool drainPending(unsigned B, SolverPool *Pool);
+  bool drainPending(unsigned B, SolverPool *Pool, const Deadline &Dl);
 
   std::shared_ptr<const Nba> UcwPtr;
   const Nba &Ucw;
@@ -315,9 +326,12 @@ private:
   /// solving bound B.
   std::vector<std::pair<unsigned, std::vector<char>>> Certificates;
   std::vector<char> CurrentWinning;
+  /// Last failure cause: deadline (true) vs. state budget (false).
+  bool TimedOut = false;
 };
 
-bool GameArena::extendTo(unsigned B, SolverPool *Pool) {
+bool GameArena::extendTo(unsigned B, SolverPool *Pool, const Deadline &Dl) {
+  TimedOut = false;
   if (Exhausted) {
     // The usable prefix (bounds <= ExploredBound) remains exact; any
     // further extension already failed the budget.
@@ -325,6 +339,12 @@ bool GameArena::extendTo(unsigned B, SolverPool *Pool) {
   }
   if (static_cast<int64_t>(B) <= ExploredBound)
     return true;
+  if (Dl.expired()) {
+    // Poll only before the overflow re-examination mutates anything:
+    // aborting mid-loop would leave duplicate moves on resume.
+    TimedOut = true;
+    return false;
+  }
 
   // Re-examine previously overflowing moves at the new cutoff. Entries
   // whose source states were expanded earlier have their successor
@@ -348,13 +368,14 @@ bool GameArena::extendTo(unsigned B, SolverPool *Pool) {
   }
   Overflow = std::move(Still);
 
-  if (!drainPending(B, Pool))
+  if (!drainPending(B, Pool, Dl))
     return false;
   ExploredBound = B;
   return true;
 }
 
-bool GameArena::drainPending(unsigned B, SolverPool *Pool) {
+bool GameArena::drainPending(unsigned B, SolverPool *Pool,
+                             const Deadline &Dl) {
   const size_t NumInputs = AB.inputLetterCount();
   const size_t NumOutputs = AB.outputLetterCount();
   const size_t Workers = Pool ? Pool->workerCount() : 0;
@@ -374,6 +395,13 @@ bool GameArena::drainPending(unsigned B, SolverPool *Pool) {
   std::vector<char> FillMark(Workers > 0 ? Ucw.stateCount() : 0, 0);
 
   while (!Pending.empty()) {
+    if (Dl.expired()) {
+      // Wave boundary: every popped wave is fully merged and Pending
+      // holds the untouched frontier, i.e. the arena is exactly some
+      // sequential-execution prefix. Safe to stop (and to resume).
+      TimedOut = true;
+      return false;
+    }
     const size_t WaveLen = std::min(Pending.size(), WaveCap);
     Wave.assign(Pending.begin(), Pending.begin() + WaveLen);
     Pending.erase(Pending.begin(), Pending.begin() + WaveLen);
@@ -460,11 +488,12 @@ bool GameArena::drainPending(unsigned B, SolverPool *Pool) {
   return true;
 }
 
-const std::vector<char> &GameArena::solve(unsigned B) {
+const std::vector<char> *GameArena::solve(unsigned B, const Deadline &Dl) {
   // Greatest fixpoint: a state is winning while for every input some
   // legal (weight <= B) output leads to a winning state. States covered
   // by a certificate of a smaller-or-equal bound are winning a priori
   // and pinned out of the iteration.
+  TimedOut = false;
   CurrentWinning.assign(States.size(), 1);
   std::vector<char> Pinned(States.size(), 0);
   for (const auto &[CertBound, Cert] : Certificates) {
@@ -477,6 +506,12 @@ const std::vector<char> &GameArena::solve(unsigned B) {
 
   bool Changed = true;
   while (Changed) {
+    if (Dl.expired()) {
+      // A partially-converged gfp over-approximates the winning region:
+      // unsound to report or to pin as a certificate. Drop it.
+      TimedOut = true;
+      return nullptr;
+    }
     Changed = false;
     for (uint32_t S = 0; S < States.size(); ++S) {
       if (!CurrentWinning[S] || Pinned[S])
@@ -505,10 +540,10 @@ const std::vector<char> &GameArena::solve(unsigned B) {
   for (auto &[CertBound, Cert] : Certificates)
     if (CertBound == B) {
       Cert = CurrentWinning;
-      return CurrentWinning;
+      return &CurrentWinning;
     }
   Certificates.emplace_back(B, CurrentWinning);
-  return CurrentWinning;
+  return &CurrentWinning;
 }
 
 MealyMachine GameArena::extract(unsigned B,
@@ -630,6 +665,13 @@ SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
   const bool Incremental = Options.Incremental;
   Timer NbaTimer;
 
+  // The tableau inherits the phase deadline unless it carries its own.
+  // The deadline never enters limitsKey (it cannot change a completed
+  // automaton, and aborted builds are never cached).
+  TableauLimits TabLimits = Options.Tableau;
+  if (!TabLimits.Dl.armed())
+    TabLimits.Dl = Options.Dl;
+
   // UCW = NBA of the negated specification.
   const Formula *Negated = Ctx.Formulas.notF(Spec);
   std::shared_ptr<const Nba> Ucw;
@@ -648,8 +690,7 @@ SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
       ++NbaMisses;
       size_t Hits0 = ExpCache.hits(), Misses0 = ExpCache.misses();
       TableauStats TS;
-      Nba Built =
-          buildNba(Negated, Ctx, AB, &TS, Options.Tableau, &ExpCache);
+      Nba Built = buildNba(Negated, Ctx, AB, &TS, TabLimits, &ExpCache);
       Result.Stats.ExpansionCacheHits = ExpCache.hits() - Hits0;
       Result.Stats.ExpansionCacheMisses = ExpCache.misses() - Misses0;
       Result.Stats.Tableau = TS;
@@ -663,7 +704,7 @@ SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
     }
   } else {
     TableauStats TS;
-    Nba Built = buildNba(Negated, Ctx, AB, &TS, Options.Tableau);
+    Nba Built = buildNba(Negated, Ctx, AB, &TS, TabLimits);
     Result.Stats.Tableau = TS;
     Ucw = std::make_shared<const Nba>(std::move(Built));
   }
@@ -671,6 +712,7 @@ SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
 
   if (Result.Stats.Tableau.BudgetExceeded) {
     Result.Status = Realizability::Unknown;
+    Result.Stats.TimedOut = Result.Stats.Tableau.TimedOut;
     return Result;
   }
 
@@ -704,19 +746,28 @@ SynthesisResult SynthesisEngine::Impl::synthesize(const Formula *Spec,
       Local = std::make_unique<GameArena>(Ucw, AB, Options.StateBudget);
       Arena = Local.get();
     }
-    if (!Arena->extendTo(Bound, Pool)) {
+    if (!Arena->extendTo(Bound, Pool, Options.Dl)) {
       Result.Status = Realizability::Unknown;
+      Result.Stats.TimedOut = Arena->timedOut();
       Result.Stats.GameStates =
           std::max(Result.Stats.GameStates, Arena->stateCount());
       Result.Stats.GameSeconds = GameTimer.seconds();
       return Result;
     }
-    const std::vector<char> &Winning = Arena->solve(Bound);
-    if (Arena->initialWinning(Winning)) {
+    const std::vector<char> *Winning = Arena->solve(Bound, Options.Dl);
+    if (!Winning) {
+      Result.Status = Realizability::Unknown;
+      Result.Stats.TimedOut = true;
+      Result.Stats.GameStates =
+          std::max(Result.Stats.GameStates, Arena->stateCount());
+      Result.Stats.GameSeconds = GameTimer.seconds();
+      return Result;
+    }
+    if (Arena->initialWinning(*Winning)) {
       Result.Status = Realizability::Realizable;
       Result.Stats.BoundUsed = Bound;
       Result.Stats.GameStates = Arena->stateCount();
-      Result.Machine = Arena->extract(Bound, Winning);
+      Result.Machine = Arena->extract(Bound, *Winning);
       Result.Stats.GameSeconds = GameTimer.seconds();
       return Result;
     }

@@ -81,6 +81,14 @@ struct SynthesisOptions {
   bool Incremental = true;
   /// Budgets for the tableau construction of the UCW.
   TableauLimits Tableau;
+  /// Cooperative deadline for the whole reactive phase, polled at wave
+  /// boundaries of arena exploration and per gfp iteration (also copy
+  /// it into Tableau.Dl to bound the UCW construction). Expiry degrades
+  /// to Unknown with Stats.TimedOut set. NOT part of any cache key: an
+  /// interrupted extension leaves the arena at a consistent
+  /// sequential-prefix state and never records certificates, so reuse
+  /// stays byte-identical.
+  Deadline Dl;
 };
 
 /// Statistics of one synthesis run.
@@ -99,6 +107,9 @@ struct SynthesisStats {
   /// Wall-clock split: UCW construction vs. game exploration/solving.
   double NbaSeconds = 0;
   double GameSeconds = 0;
+  /// An Unknown verdict was caused by the cooperative deadline (wall
+  /// clock), as opposed to the state/transition budgets.
+  bool TimedOut = false;
 };
 
 /// Result of reactive synthesis.

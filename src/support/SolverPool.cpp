@@ -26,18 +26,30 @@ SolverPool::~SolverPool() {
 
 void SolverPool::workerLoop() {
   for (;;) {
+    uint64_t Ticket = 0;
     std::function<void()> Task;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
       if (Queue.empty())
         return; // Stopping with a drained queue.
-      Task = std::move(Queue.front());
+      Ticket = Queue.front().first;
+      Task = std::move(Queue.front().second);
       Queue.pop();
     }
-    Task();
+    // An exception escaping Task() here would hit the thread's top
+    // frame and std::terminate the whole process. Capture it instead;
+    // wait() rethrows the smallest-ticket one deterministically.
+    std::exception_ptr Error;
+    try {
+      Task();
+    } catch (...) {
+      Error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> Lock(Mutex);
+      if (Error)
+        Captured.emplace_back(Ticket, Error);
       if (--InFlight == 0 && Queue.empty())
         AllDone.notify_all();
     }
@@ -46,15 +58,30 @@ void SolverPool::workerLoop() {
 
 void SolverPool::submit(std::function<void()> Task) {
   if (Workers.empty()) {
+    // Inline pool: tasks run in submission order, so the first throw
+    // *is* the smallest-ticket throw; let it propagate naturally.
+    ++NextTicket;
     Task();
     return;
   }
   {
     std::unique_lock<std::mutex> Lock(Mutex);
-    Queue.push(std::move(Task));
+    Queue.emplace(NextTicket++, std::move(Task));
     ++InFlight;
   }
   WorkAvailable.notify_one();
+}
+
+void SolverPool::rethrowFirstCaptured(std::unique_lock<std::mutex> &Lock) {
+  if (Captured.empty())
+    return;
+  auto First = std::min_element(
+      Captured.begin(), Captured.end(),
+      [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::exception_ptr Error = First->second;
+  Captured.clear(); // Leave the pool reusable after the throw.
+  Lock.unlock();
+  std::rethrow_exception(Error);
 }
 
 void SolverPool::wait() {
@@ -62,6 +89,7 @@ void SolverPool::wait() {
     return;
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return InFlight == 0 && Queue.empty(); });
+  rethrowFirstCaptured(Lock);
 }
 
 void SolverPool::forEach(size_t N, const std::function<void(size_t)> &Body) {

@@ -20,10 +20,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace temos {
@@ -49,23 +52,40 @@ public:
 
   /// Blocks until every submitted task has finished. Tasks may submit
   /// further tasks; wait() covers those too.
+  ///
+  /// Exception safety: an exception escaping a pooled task never
+  /// reaches the worker thread's top frame (which would be
+  /// std::terminate) -- it is captured as a std::exception_ptr, tagged
+  /// with the task's submission ticket, and the remaining tasks still
+  /// run to completion. wait() then rethrows the captured exception
+  /// with the *smallest ticket* -- i.e. first in merge order -- so the
+  /// surfaced error is deterministic across pool widths and matches
+  /// what an inline pool (which executes tasks in submission order and
+  /// propagates the first throw naturally) would have raised.
   void wait();
 
   /// Runs Body(0) .. Body(N-1), distributing indices across workers in
   /// submission order, and waits for completion. Chunks adjacent indices
-  /// together to amortize queue overhead on fine-grained work.
+  /// together to amortize queue overhead on fine-grained work. Rethrows
+  /// the smallest-index exception via wait().
   void forEach(size_t N, const std::function<void(size_t)> &Body);
 
 private:
   void workerLoop();
+  void rethrowFirstCaptured(std::unique_lock<std::mutex> &Lock);
 
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Queue;
+  std::queue<std::pair<uint64_t, std::function<void()>>> Queue;
   mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::condition_variable AllDone;
   size_t InFlight = 0;
   bool Stopping = false;
+  /// Submission ticket of the next enqueued task; pairs each task with
+  /// its merge-order position for deterministic rethrow.
+  uint64_t NextTicket = 0;
+  /// Exceptions captured from pooled tasks, tagged with their ticket.
+  std::vector<std::pair<uint64_t, std::exception_ptr>> Captured;
 };
 
 } // namespace temos

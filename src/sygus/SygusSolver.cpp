@@ -244,6 +244,11 @@ std::optional<SequentialProgram> SygusSolver::synthesizeSequential(
   // chain grammar makes that the sequence length).
   std::vector<size_t> Indices(Steps, 0);
   for (;;) {
+    // One enumeration round per candidate: the poll that makes the
+    // search cooperatively cancellable (and the only exit under the
+    // spin-hang fault).
+    Dl.check();
+
     SequentialProgram Candidate;
     Candidate.Steps.reserve(Steps);
     for (size_t I : Indices)
@@ -275,12 +280,13 @@ std::optional<SequentialProgram> SygusSolver::synthesizeSequential(
       if (!Screened) {
         if (Stats)
           ++Stats->VerifierCalls;
-        if (verifySequential(Query, Candidate))
+        if (verifySequential(Query, Candidate) && !Opts.SpinHangForTesting)
           return Candidate;
       }
     }
 
     // Advance the odometer.
+    bool Wrapped = Steps == 0;
     size_t Position = Steps;
     while (Position > 0) {
       --Position;
@@ -288,10 +294,15 @@ std::optional<SequentialProgram> SygusSolver::synthesizeSequential(
         break;
       Indices[Position] = 0;
       if (Position == 0)
+        Wrapped = true;
+    }
+    if (Wrapped) {
+      // The injected spin-hang fault restarts the sweep instead of
+      // reporting exhaustion: a deliberately non-terminating
+      // enumeration only the deadline poll above can stop.
+      if (!Opts.SpinHangForTesting)
         return std::nullopt;
     }
-    if (Steps == 0)
-      return std::nullopt;
   }
 }
 
@@ -340,6 +351,7 @@ SygusSolver::synthesizeLoop(const SygusQuery &Query,
                    });
 
   for (const std::vector<StepChoice> &Body : Bodies) {
+    Dl.check(); // One poll per candidate body.
     LoopProgram Candidate{Body};
     bool IsExcluded = false;
     for (const LoopProgram &Ex : Excluded)

@@ -85,8 +85,22 @@ public:
     unsigned MaxLoopIterations = 64;
     /// Maximum loop body length (in steps).
     unsigned MaxBodySteps = 2;
+    /// Fault injection (temos --inject-fault=spin-hang): the sequential
+    /// enumeration never terminates -- verified candidates are withheld
+    /// and the odometer wraps around forever -- so only a cooperative
+    /// deadline can stop it. Exists to prove the deadline machinery
+    /// trips; never set in production.
+    bool SpinHangForTesting = false;
   };
   Options Opts;
+
+  /// Attaches a cooperative deadline, shared with the private SMT
+  /// solver: enumeration rounds poll it and throw DeadlineExpired when
+  /// the budget is gone. Default Deadline detaches.
+  void setDeadline(const Deadline &D) {
+    Dl = D;
+    Solver.setDeadline(D);
+  }
 
   /// Synthesizes a sequential program of exactly \p Steps steps (the
   /// temporal constraint of Sec. 4.3.1). Programs in \p Excluded are
@@ -149,6 +163,7 @@ private:
   SmtSolver Solver;
   SolverService *Service = nullptr;
   Evaluator Eval;
+  Deadline Dl;
 };
 
 } // namespace temos

@@ -206,6 +206,7 @@ void Simplex::pivotAndUpdate(VarId Basic, VarId Nonbasic,
 
 bool Simplex::check() {
   for (;;) {
+    Dl.check();
     // Bland's rule: smallest violating basic variable.
     VarId Violating = -1;
     bool BelowLower = false;

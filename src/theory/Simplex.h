@@ -14,6 +14,7 @@
 #ifndef TEMOS_THEORY_SIMPLEX_H
 #define TEMOS_THEORY_SIMPLEX_H
 
+#include "support/Deadline.h"
 #include "support/Rational.h"
 #include "theory/LinearExpr.h"
 
@@ -66,6 +67,11 @@ public:
   size_t variableCount() const { return Vars.size(); }
   size_t pivotCount() const { return Pivots; }
 
+  /// Attaches a cooperative deadline polled once per pivot iteration;
+  /// check() throws DeadlineExpired when it trips. Copies (the
+  /// branch-and-bound snapshots) share the same token.
+  void setDeadline(const Deadline &D) { Dl = D; }
+
 private:
   struct VarInfo {
     std::string Name;
@@ -89,6 +95,7 @@ private:
   std::map<VarId, std::map<VarId, Rational>> Rows;
   size_t Pivots = 0;
   int SlackCounter = 0;
+  Deadline Dl;
 };
 
 } // namespace temos

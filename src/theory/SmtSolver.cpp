@@ -75,8 +75,9 @@ int64_t floorDR(const DeltaRational &V) {
 /// by simplex with case splits and branch-and-bound.
 class ArithmeticCore {
 public:
-  ArithmeticCore(const std::map<std::string, Sort> &VarSorts)
-      : VarSorts(VarSorts) {}
+  ArithmeticCore(const std::map<std::string, Sort> &VarSorts,
+                 const Deadline &Dl)
+      : VarSorts(VarSorts), Dl(Dl) {}
 
   std::vector<LinearAtom> Atoms;
   /// Each entry D means D != 0 (split into D < 0 or D > 0).
@@ -84,6 +85,7 @@ public:
 
   SatResult solve(std::map<std::string, Rational> *Model) {
     Simplex S;
+    S.setDeadline(Dl);
     for (const auto &[Name, VarSort] : VarSorts)
       S.getVariable(Name, VarSort == Sort::Int);
     for (const LinearAtom &Atom : Atoms)
@@ -95,6 +97,7 @@ public:
 private:
   SatResult splitDisequalities(Simplex S, size_t Index, int Budget,
                                std::map<std::string, Rational> *Model) {
+    Dl.check();
     if (Index == Disequalities.size())
       return branchAndBound(std::move(S), Budget, Model);
     bool SawUnknown = false;
@@ -115,6 +118,7 @@ private:
 
   SatResult branchAndBound(Simplex S, int Budget,
                            std::map<std::string, Rational> *Model) {
+    Dl.check();
     if (!S.check())
       return SatResult::Unsat;
     std::vector<std::string> Fractional = S.fractionalIntVariables();
@@ -155,6 +159,7 @@ private:
   }
 
   const std::map<std::string, Sort> &VarSorts;
+  Deadline Dl;
 };
 
 /// Three-valued evaluation of a boolean-structure formula under a
@@ -275,6 +280,7 @@ SatResult SmtSolver::checkValid(const Formula *F, Context &Ctx) {
 SatResult SmtSolver::dpll(const Formula *F, std::vector<const Term *> &Atoms,
                           size_t Index, std::vector<TheoryLiteral> &Trail,
                           Assignment *Model) {
+  Dl.check();
   // Evaluate under the current partial assignment.
   std::unordered_map<const Term *, bool> AtomValues;
   for (const TheoryLiteral &L : Trail)
@@ -329,7 +335,7 @@ SatResult SmtSolver::theoryCheck(const std::vector<TheoryLiteral> &Literals,
     CC.add(L.Atom);
   }
 
-  ArithmeticCore Arith(VarSorts);
+  ArithmeticCore Arith(VarSorts, Dl);
   std::vector<std::pair<const Term *, const Term *>> NumericEqualities;
 
   for (const TheoryLiteral &L : Literals) {

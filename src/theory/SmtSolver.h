@@ -26,6 +26,7 @@
 
 #include "logic/Formula.h"
 #include "logic/Specification.h"
+#include "support/Deadline.h"
 #include "theory/Value.h"
 
 #include <vector>
@@ -60,8 +61,21 @@ public:
   Theory theory() const { return Th; }
 
   /// A fresh, independent solver for the same theory. Cheap by design;
-  /// the solver service clones one prototype per query/worker.
-  SmtSolver clone() const { return SmtSolver(Th); }
+  /// the solver service clones one prototype per query/worker. Clones
+  /// share the prototype's deadline token: tripping it cancels every
+  /// in-flight query.
+  SmtSolver clone() const {
+    SmtSolver S(Th);
+    S.Dl = Dl;
+    return S;
+  }
+
+  /// Attaches a cooperative deadline. The DPLL case split, the
+  /// disequality splitter, branch-and-bound, and the simplex pivot loop
+  /// all poll it and throw DeadlineExpired when the budget is gone.
+  /// A default Deadline (never expires) detaches.
+  void setDeadline(const Deadline &D) { Dl = D; }
+  const Deadline &deadline() const { return Dl; }
 
   /// Drops any state carried across queries. Currently a no-op (the
   /// solver is stateless); part of the API contract so future
@@ -90,6 +104,7 @@ private:
                         Assignment *Model);
 
   Theory Th;
+  Deadline Dl;
 };
 
 } // namespace temos

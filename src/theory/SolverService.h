@@ -97,6 +97,12 @@ public:
   /// (the consistency checker's subset sweep, per-obligation SyGuS).
   SolverPool &pool() { return Pool; }
 
+  /// Attaches a cooperative deadline to the prototype solver; every
+  /// per-query clone inherits the shared token, so one call bounds all
+  /// in-flight and future queries. Default Deadline detaches.
+  void setDeadline(const Deadline &D) { Prototype.setDeadline(D); }
+  const Deadline &deadline() const { return Prototype.deadline(); }
+
   QueryCache &cache() { return Cache; }
   const QueryCache &cache() const { return Cache; }
 

@@ -60,6 +60,13 @@ enum class FaultKind {
   /// Pipeline oracle: the multi-threaded configuration silently runs
   /// the lazy strategy (emulates a configuration-plumbing bug).
   LazyConfig,
+  /// Pipeline oracle: plants PipelineOptions::InjectSpinHang (a SyGuS
+  /// enumeration that never terminates) under a short SyGuS time
+  /// budget. "Detection" here means the deadline machinery tripped: the
+  /// run came back within 2x the budget with a Timeout failure record
+  /// instead of hanging. A deadline regression turns this into an
+  /// undetected fault (or a hung harness), failing the run.
+  SpinHang,
 };
 
 const char *faultName(FaultKind K);
@@ -117,6 +124,20 @@ std::vector<OracleReport> runAllOracles(const FuzzOptions &Options);
 /// Returns a human-readable report; sets \p StillFails when the
 /// discrepancy reproduces.
 std::string replayTheoryRepro(const std::string &Source, bool &StillFails);
+
+/// Replays a `// temos-artifact:` file (the format the temos CLI and
+/// the spin-hang probe dump on degraded runs): re-parses the option
+/// header (jobs, cache, lazy, time budgets, inject-fault), re-runs the
+/// pipeline on the embedded spec, and reports the verdict plus failure
+/// records. Sets \p StillFails when the run still degrades (non-empty
+/// failure list).
+std::string replayPipelineArtifact(const std::string &Source,
+                                   bool &StillFails);
+
+/// True when \p Source carries the `// temos-artifact:` header and
+/// should be replayed with replayPipelineArtifact rather than
+/// replayTheoryRepro.
+bool isPipelineArtifact(const std::string &Source);
 
 } // namespace fuzz
 } // namespace temos

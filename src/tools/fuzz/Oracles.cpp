@@ -7,10 +7,13 @@
 #include "logic/Parser.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 #include "theory/Evaluator.h"
 #include "tools/fuzz/Generator.h"
 #include "tools/fuzz/Shrinker.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -38,6 +41,8 @@ const char *fuzz::faultName(FaultKind K) {
     return "skip-verify";
   case FaultKind::LazyConfig:
     return "lazy-config";
+  case FaultKind::SpinHang:
+    return "spin-hang";
   }
   return "?";
 }
@@ -45,7 +50,8 @@ const char *fuzz::faultName(FaultKind K) {
 bool fuzz::parseFaultKind(const std::string &Name, FaultKind &Out) {
   for (FaultKind K :
        {FaultKind::None, FaultKind::FlipStrict, FaultKind::DropConjunct,
-        FaultKind::MutatePrint, FaultKind::SkipVerify, FaultKind::LazyConfig})
+        FaultKind::MutatePrint, FaultKind::SkipVerify, FaultKind::LazyConfig,
+        FaultKind::SpinHang})
     if (Name == faultName(K)) {
       Out = K;
       return true;
@@ -1017,9 +1023,99 @@ std::string pipelineDisagreement(const std::string &Source, FaultKind Fault) {
   return "";
 }
 
+/// SpinHang probe. Unlike the differential faults, the planted bug is a
+/// genuine non-termination (the SyGuS enumerator withholds every
+/// verified candidate and restarts its sweep forever), so the oracle is
+/// not a cross-config diff but a liveness check on the deadline
+/// machinery itself: with a short SyGuS budget, the run must come back
+/// within 2x the budget carrying a Timeout failure record for the sygus
+/// phase. A "failure" here is the *detection* (proof the probe works),
+/// mirroring how the other injected faults surface; a deadline
+/// regression instead yields zero detections (or a hung harness), which
+/// the injection tests treat as the bug.
+OracleReport runSpinHangProbe(const FuzzOptions &Options) {
+  OracleReport Report;
+  Report.Oracle = "pipeline";
+  const double BudgetSeconds = 0.3;
+  for (unsigned It = 0; It < Options.Iterations; ++It) {
+    ++Report.Iterations;
+    Context Ctx;
+    Rng R(mixSeed(Options.Seed ^ PipelineSalt, It));
+    Generator Gen(Ctx, R);
+    std::string Source = Gen.pipelineSpecSource();
+    auto Spec = parseSpecification(Source, Ctx);
+    if (!Spec) {
+      ++Report.Skipped;
+      continue;
+    }
+
+    Synthesizer Synth(Ctx);
+    PipelineOptions PO;
+    PO.InjectSpinHang = true;
+    PO.Budget.SygusSeconds = BudgetSeconds;
+    Timer Wall;
+    PipelineResult PR = Synth.run(*Spec, PO);
+    const double WallSeconds = Wall.seconds();
+
+    bool SygusTimeout = false;
+    std::string Records;
+    for (const FailureRecord &Rec : PR.Stats.Failures) {
+      if (Rec.Kind == FailureKind::Timeout && Rec.Phase == "sygus")
+        SygusTimeout = true;
+      Records += std::string("// failure: ") + failureKindName(Rec.Kind) +
+                 " [" + Rec.Phase + "] " + Rec.Detail + "\n";
+    }
+    // Specs without data obligations never enter the planted loop; they
+    // exercise nothing and are skipped, not counted as misses.
+    if (!SygusTimeout) {
+      ++Report.Skipped;
+      continue;
+    }
+    if (WallSeconds > 2 * BudgetSeconds)
+      continue; // Deadline tripped, but too late: not a clean detection.
+
+    char Desc[160];
+    std::snprintf(Desc, sizeof(Desc),
+                  "spin-hang tripped the sygus deadline in %.3fs "
+                  "(budget %.3fs, ceiling %.3fs)",
+                  WallSeconds, BudgetSeconds, 2 * BudgetSeconds);
+
+    char OptLine[128];
+    std::snprintf(OptLine, sizeof(OptLine),
+                  "// options: jobs=1 cache=on lazy=off sygus-budget=%g "
+                  "inject-fault=spin-hang\n",
+                  BudgetSeconds);
+    std::string Repro = "// temos-artifact: v1\n// spec: fuzz-pipeline-seed" +
+                        std::to_string(Options.Seed) + "-iter" +
+                        std::to_string(It) + "\n// status: unknown\n" +
+                        Records + OptLine + "// seed: " +
+                        std::to_string(Options.Seed) +
+                        "\n// replay: temos-fuzz --replay <this file>\n" +
+                        Source + "\n";
+
+    FailureCase F;
+    F.Oracle = Report.Oracle;
+    F.Seed = Options.Seed;
+    F.Iteration = It;
+    F.Description = Desc;
+    F.Repro = Repro;
+    F.ArtifactPath = writeArtifact(
+        Options,
+        "pipeline-spinhang-seed" + std::to_string(Options.Seed) + "-iter" +
+            std::to_string(It) + ".tslmt",
+        Repro);
+    Report.Failures.push_back(std::move(F));
+    if (Report.Failures.size() >= Options.MaxFailures)
+      break;
+  }
+  return Report;
+}
+
 } // namespace
 
 OracleReport fuzz::runPipelineOracle(const FuzzOptions &Options) {
+  if (Options.Fault == FaultKind::SpinHang)
+    return runSpinHangProbe(Options);
   OracleReport Report;
   Report.Oracle = "pipeline";
   for (unsigned It = 0; It < Options.Iterations; ++It) {
@@ -1062,4 +1158,78 @@ OracleReport fuzz::runPipelineOracle(const FuzzOptions &Options) {
 std::vector<OracleReport> fuzz::runAllOracles(const FuzzOptions &Options) {
   return {runTheoryOracle(Options), runRoundTripOracle(Options),
           runSygusOracle(Options), runPipelineOracle(Options)};
+}
+
+bool fuzz::isPipelineArtifact(const std::string &Source) {
+  return Source.find("// temos-artifact:") != std::string::npos;
+}
+
+std::string fuzz::replayPipelineArtifact(const std::string &Source,
+                                         bool &StillFails) {
+  StillFails = false;
+
+  // Re-parse the option header the artifact writer emitted; unknown
+  // tokens are ignored so the format can grow.
+  PipelineOptions PO;
+  for (const std::string &Line : split(Source, '\n')) {
+    std::string T = trim(Line);
+    if (T.rfind("// options:", 0) != 0)
+      continue;
+    for (const std::string &Tok : split(T.substr(11), ' ')) {
+      std::string::size_type Eq = Tok.find('=');
+      if (Eq == std::string::npos)
+        continue;
+      std::string Key = Tok.substr(0, Eq);
+      std::string Val = Tok.substr(Eq + 1);
+      if (Key == "jobs")
+        PO.Parallelism.NumThreads = static_cast<unsigned>(
+            std::max(1L, std::strtol(Val.c_str(), nullptr, 10)));
+      else if (Key == "cache")
+        PO.Parallelism.CacheEnabled = Val != "off";
+      else if (Key == "lazy")
+        PO.Eager = Val != "on";
+      else if (Key == "time-budget")
+        PO.Budget.TotalSeconds = std::strtod(Val.c_str(), nullptr);
+      else if (Key == "consistency-budget")
+        PO.Budget.ConsistencySeconds = std::strtod(Val.c_str(), nullptr);
+      else if (Key == "sygus-budget")
+        PO.Budget.SygusSeconds = std::strtod(Val.c_str(), nullptr);
+      else if (Key == "reactive-budget")
+        PO.Budget.ReactiveSeconds = std::strtod(Val.c_str(), nullptr);
+      else if (Key == "inject-fault")
+        PO.InjectSpinHang = Val == "spin-hang";
+    }
+    break;
+  }
+
+  Context Ctx;
+  auto Spec = parseSpecification(Source, Ctx);
+  if (!Spec)
+    return "artifact replay: embedded spec does not parse: " +
+           Spec.error().str();
+
+  Synthesizer Synth(Ctx);
+  PipelineResult R = Synth.run(*Spec, PO);
+
+  std::string Out = "pipeline artifact replay\n";
+  switch (R.Status) {
+  case Realizability::Realizable:
+    Out += "status: realizable\n";
+    break;
+  case Realizability::Unrealizable:
+    Out += "status: unrealizable\n";
+    break;
+  case Realizability::Unknown:
+    Out += "status: unknown\n";
+    break;
+  }
+  if (!R.Diagnostic.empty())
+    Out += "diagnostic: " + R.Diagnostic + "\n";
+  for (const FailureRecord &F : R.Stats.Failures)
+    Out += std::string("failure: ") + failureKindName(F.Kind) + " [" +
+           F.Phase + "] " + F.Detail + "\n";
+  StillFails = !R.Stats.Failures.empty();
+  Out += StillFails ? "degradation reproduces\n"
+                    : "run completed clean; degradation does not reproduce\n";
+  return Out;
 }

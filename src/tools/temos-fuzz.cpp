@@ -46,9 +46,16 @@ int usage(const char *Argv0) {
       "  --artifacts DIR    repro directory (default fuzz-artifacts;\n"
       "                     'none' disables writing)\n"
       "  --inject-fault K   none|flip-strict|drop-conjunct|mutate-print|\n"
-      "                     skip-verify|lazy-config; the run then FAILS\n"
-      "                     unless the fault is detected\n"
-      "  --replay FILE      re-run a theory repro file and exit\n"
+      "                     skip-verify|lazy-config|spin-hang; the run then\n"
+      "                     FAILS unless the fault is detected (spin-hang\n"
+      "                     plants a non-terminating SyGuS enumeration and\n"
+      "                     requires the deadline machinery to trip within\n"
+      "                     2x the budget)\n"
+      "  --replay FILE      re-run a repro file and exit: theory repros\n"
+      "                     re-check solver vs. ground truth; `// temos-\n"
+      "                     artifact:` files (from the temos CLI or the\n"
+      "                     spin-hang probe) re-run the pipeline with the\n"
+      "                     recorded options\n"
       "  --verbose          per-oracle progress on stderr\n",
       Argv0);
   return 2;
@@ -70,8 +77,11 @@ int replay(const std::string &Path) {
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
   bool StillFails = false;
-  std::string Report = replayTheoryRepro(Buffer.str(), StillFails);
+  std::string Report = isPipelineArtifact(Source)
+                           ? replayPipelineArtifact(Source, StillFails)
+                           : replayTheoryRepro(Source, StillFails);
   std::printf("%s\n", Report.c_str());
   return StillFails ? 1 : 0;
 }

@@ -27,9 +27,29 @@
 ///                                    incremental engine's cross-run
 ///                                    reuse (summary/emission still
 ///                                    reflect the first run)
+///   temos --time-budget S ...        cap the whole run at S wall-clock
+///                                    seconds; on expiry each phase
+///                                    degrades gracefully and the tool
+///                                    reports unknown (exit 4)
+///   temos --artifacts DIR ...        where degraded/crashed runs dump
+///                                    their replayable artifact
+///                                    (default temos-artifacts; 'none'
+///                                    disables); replay with
+///                                    `temos-fuzz --replay FILE`
+///   temos --inject-fault=spin-hang   plant a non-terminating SyGuS
+///                                    search (testing only) to prove
+///                                    the deadline machinery trips
 ///
 /// The pre-redesign spellings --js, --cpp and --assumptions still work
 /// as deprecated aliases for the corresponding --emit=... values.
+///
+/// Exit codes (also in the README):
+///   0  synthesis succeeded
+///   1  input error: unreadable file, parse error, unknown benchmark, I/O
+///   2  usage error / invalid option combination
+///   3  unrealizable within the bounded-synthesis budget
+///   4  resource exhausted: a time/state budget degraded the run to
+///      unknown (details in the failure records)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,9 +60,11 @@
 #include "core/Synthesizer.h"
 #include "logic/Parser.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -52,14 +74,25 @@ using namespace temos;
 
 namespace {
 
+/// Exit codes; keep in sync with the file header and the README table.
+enum ExitCode {
+  ExitSuccess = 0,
+  ExitInputError = 1,
+  ExitUsage = 2,
+  ExitUnrealizable = 3,
+  ExitResourceExhausted = 4,
+};
+
 int usage(const char *Program) {
   std::fprintf(
       stderr,
       "usage: %s [--emit=<js|cpp|assumptions|summary>] [--jobs N] "
       "[--no-cache] [--simulate N] [--lazy] [--bench-json[=PATH]] "
-      "[--repeat N] (spec.tslmt | --benchmark NAME | --list)\n",
+      "[--repeat N] [--time-budget S] [--artifacts DIR|none] "
+      "[--inject-fault=spin-hang] "
+      "(spec.tslmt | --benchmark NAME | --list)\n",
       Program);
-  return 2;
+  return ExitUsage;
 }
 
 /// What the tool prints on success.
@@ -84,6 +117,78 @@ void warnDeprecated(const char *Old, const char *New) {
   std::fprintf(stderr, "warning: %s is deprecated, use %s\n", Old, New);
 }
 
+/// One stderr line per failure record, e.g.
+/// "  failure: timeout [sygus] 2 of 3 obligations unresolved ...".
+void printFailures(std::FILE *Stream, const PipelineStats &Stats) {
+  for (const FailureRecord &F : Stats.Failures)
+    std::fprintf(Stream, "  failure: %s [%s] %s\n", failureKindName(F.Kind),
+                 F.Phase.c_str(), F.Detail.c_str());
+}
+
+/// Renders the replayable artifact a degraded or crashed run dumps: a
+/// `// temos-artifact:` header (failure records, the exact option set,
+/// the seed) followed by the verbatim specification source, so
+/// `temos-fuzz --replay FILE` can re-run it.
+std::string artifactText(const std::string &SpecName, Realizability Status,
+                         const PipelineOptions &Options, unsigned Jobs,
+                         bool Lazy, double TimeBudget,
+                         const PipelineStats &Stats,
+                         const std::string &Source) {
+  std::string Out;
+  Out += "// temos-artifact: v1\n";
+  Out += "// spec: " + SpecName + "\n";
+  Out += std::string("// status: ") +
+         (Status == Realizability::Realizable     ? "realizable"
+          : Status == Realizability::Unrealizable ? "unrealizable"
+                                                  : "unknown") +
+         "\n";
+  for (const FailureRecord &F : Stats.Failures)
+    Out += std::string("// failure: ") + failureKindName(F.Kind) + " [" +
+           F.Phase + "] " + F.Detail + "\n";
+  char OptLine[256];
+  std::snprintf(OptLine, sizeof(OptLine),
+                "// options: jobs=%u cache=%s lazy=%s time-budget=%g "
+                "inject-fault=%s\n",
+                Jobs, Options.Parallelism.CacheEnabled ? "on" : "off",
+                Lazy ? "on" : "off", TimeBudget,
+                Options.InjectSpinHang ? "spin-hang" : "none");
+  Out += OptLine;
+  // The pipeline is deterministic (no RNG), so the seed is fixed; the
+  // field keeps the header shape shared with temos-fuzz repros.
+  Out += "// seed: 0\n";
+  Out += "// replay: temos-fuzz --replay <this-file>\n";
+  Out += Source;
+  if (!Source.empty() && Source.back() != '\n')
+    Out += "\n";
+  return Out;
+}
+
+/// Writes the artifact into \p Dir (created on demand); returns the
+/// path, or "" when disabled or on I/O failure.
+std::string writeArtifactFile(const std::string &Dir,
+                              const std::string &SpecName,
+                              const std::string &Text) {
+  if (Dir.empty())
+    return "";
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return "";
+  std::string Safe;
+  for (char C : SpecName)
+    Safe += (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+             C == '-')
+                ? C
+                : '_';
+  std::string Path = Dir + "/temos-artifact-" + Safe + ".tslmt";
+  std::ofstream Out(Path);
+  if (!Out)
+    return "";
+  Out << Text;
+  Out.close();
+  return Out ? Path : "";
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -97,6 +202,9 @@ int main(int argc, char **argv) {
   bool BenchJsonWanted = false;
   std::string BenchJsonPath;
   unsigned Repeats = 1;
+  double TimeBudget = 0;
+  bool InjectSpinHang = false;
+  std::string ArtifactsDir = "temos-artifacts";
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--list") == 0) {
@@ -143,6 +251,26 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--assumptions") == 0) {
       warnDeprecated("--assumptions", "--emit=assumptions");
       Emit = EmitKind::Assumptions;
+    } else if (std::strcmp(argv[I], "--time-budget") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      double S = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || S <= 0) {
+        std::fprintf(stderr,
+                     "error: --time-budget needs a positive second count\n");
+        return usage(argv[0]);
+      }
+      TimeBudget = S;
+    } else if (std::strcmp(argv[I], "--artifacts") == 0 && I + 1 < argc) {
+      ++I;
+      ArtifactsDir = std::strcmp(argv[I], "none") == 0 ? "" : argv[I];
+    } else if (std::strncmp(argv[I], "--inject-fault=", 15) == 0) {
+      if (std::strcmp(argv[I] + 15, "spin-hang") != 0) {
+        std::fprintf(stderr, "error: unknown --inject-fault value '%s' "
+                             "(only spin-hang is supported)\n",
+                     argv[I] + 15);
+        return usage(argv[0]);
+      }
+      InjectSpinHang = true;
     } else if (std::strcmp(argv[I], "--lazy") == 0) {
       Lazy = true;
     } else if (std::strcmp(argv[I], "--simulate") == 0 && I + 1 < argc) {
@@ -159,7 +287,7 @@ int main(int argc, char **argv) {
     if (!B) {
       std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
                    BenchmarkName);
-      return 1;
+      return ExitInputError;
     }
     Source = B->Source;
     Path = BenchmarkName;
@@ -169,7 +297,7 @@ int main(int argc, char **argv) {
     std::ifstream In(Path);
     if (!In) {
       std::fprintf(stderr, "error: cannot open '%s'\n", Path);
-      return 1;
+      return ExitInputError;
     }
     std::stringstream Buffer;
     Buffer << In.rdbuf();
@@ -180,7 +308,7 @@ int main(int argc, char **argv) {
   auto Spec = parseSpecification(Source, Ctx);
   if (!Spec) {
     std::fprintf(stderr, "%s:%s\n", Path, Spec.error().str().c_str());
-    return 1;
+    return ExitInputError;
   }
 
   Synthesizer Synth(Ctx);
@@ -188,11 +316,16 @@ int main(int argc, char **argv) {
   Options.Eager = !Lazy;
   Options.Parallelism.NumThreads = Jobs;
   Options.Parallelism.CacheEnabled = CacheEnabled;
+  Options.Budget.TotalSeconds = TimeBudget;
+  Options.InjectSpinHang = InjectSpinHang;
   PipelineResult R = Synth.run(*Spec, Options);
 
-  if (!R.Diagnostic.empty()) {
+  // A diagnostic without failure records is an up-front refusal (option
+  // validation); with records it is a contained pipeline abort, which
+  // flows through the normal failure reporting below.
+  if (!R.Diagnostic.empty() && R.Stats.Failures.empty()) {
     std::fprintf(stderr, "error: invalid options: %s\n", R.Diagnostic.c_str());
-    return 2;
+    return ExitUsage;
   }
   // Extra runs on the same Synthesizer exercise the incremental engine's
   // cross-run reuse; everything the tool prints still reflects run one.
@@ -221,16 +354,28 @@ int main(int argc, char **argv) {
     }
     if (Written.empty()) {
       std::fprintf(stderr, "error: cannot write bench JSON\n");
-      return 1;
+      return ExitInputError;
     }
     std::fprintf(stderr, "bench json: %s\n", Written.c_str());
+  }
+  // Degraded or aborted runs dump a replayable artifact (spec + failure
+  // records + options), whatever the final verdict.
+  if (!R.Stats.Failures.empty()) {
+    std::string Artifact = writeArtifactFile(
+        ArtifactsDir, Spec->Name,
+        artifactText(Spec->Name, R.Status, Options, Jobs, Lazy, TimeBudget,
+                     R.Stats, Source));
+    if (!Artifact.empty())
+      std::fprintf(stderr, "artifact: %s\n", Artifact.c_str());
   }
   if (R.Status != Realizability::Realizable) {
     std::fprintf(stderr, "%s: %s\n", Spec->Name.c_str(),
                  R.Status == Realizability::Unrealizable
                      ? "unrealizable (within the bounded-synthesis budget)"
                      : "unknown (resource budget exceeded)");
-    return 1;
+    printFailures(stderr, R.Stats);
+    return R.Status == Realizability::Unrealizable ? ExitUnrealizable
+                                                   : ExitResourceExhausted;
   }
 
   if (Emit == EmitKind::Assumptions) {
@@ -295,5 +440,11 @@ int main(int argc, char **argv) {
   std::printf("  machine states:   %zu\n", R.Machine->stateCount());
   std::printf("  JavaScript LoC:   %zu\n",
               countLines(emitJavaScript(*R.Machine, R.AB, *Spec)));
-  return 0;
+  // Only on degraded runs, so clean summaries stay byte-stable for the
+  // golden suite.
+  if (!R.Stats.Failures.empty()) {
+    std::printf("  failures:         %zu\n", R.Stats.Failures.size());
+    printFailures(stdout, R.Stats);
+  }
+  return ExitSuccess;
 }

@@ -61,10 +61,31 @@ TEST(FuzzInjection, LazyConfigCaughtByPipelineOracle) {
                  "pipeline");
 }
 
+/// The spin-hang probe is a liveness check on the deadline subsystem: a
+/// planted non-terminating SyGuS enumeration under a ~0.3s budget must
+/// come back with a sygus Timeout record within 2x the budget. A
+/// deadline regression yields zero detections here (or hangs, which the
+/// per-test TIMEOUT converts into a failure).
+TEST(FuzzInjection, SpinHangCaughtByPipelineOracle) {
+  OracleReport Report =
+      runPipelineOracle(faultOptions(FaultKind::SpinHang, 5));
+  expectDetected(Report, "pipeline");
+  const FailureCase &F = Report.Failures.front();
+  EXPECT_NE(F.Description.find("tripped the sygus deadline"),
+            std::string::npos)
+      << F.Description;
+  // The repro is a pipeline artifact so `temos-fuzz --replay` re-runs
+  // it with the recorded budget and fault.
+  EXPECT_TRUE(isPipelineArtifact(F.Repro));
+  bool StillFails = false;
+  std::string Replay = replayPipelineArtifact(F.Repro, StillFails);
+  EXPECT_TRUE(StillFails) << Replay;
+}
+
 TEST(FuzzInjection, FaultNamesRoundTrip) {
   const FaultKind Kinds[] = {FaultKind::FlipStrict, FaultKind::DropConjunct,
                              FaultKind::MutatePrint, FaultKind::SkipVerify,
-                             FaultKind::LazyConfig};
+                             FaultKind::LazyConfig, FaultKind::SpinHang};
   for (FaultKind K : Kinds) {
     FaultKind Parsed = FaultKind::None;
     ASSERT_TRUE(parseFaultKind(faultName(K), Parsed)) << faultName(K);

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 namespace {
 
@@ -232,6 +234,103 @@ always guarantee {
   auto [Code, Out] = runCli(Path);
   EXPECT_NE(Code, 0);
   (void)Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code contract (documented in the README):
+//   0 success, 1 input error, 2 usage error, 3 unrealizable,
+//   4 resource budget exhausted (Unknown).
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, ExitCodesAreDistinctPerOutcome) {
+  std::string Unreal = writeSpec("cli_unreal3.tslmt", R"(
+#LIA#
+spec Hopeless
+inputs { int a; }
+cells { int x = 0; }
+always guarantee {
+  [x <- x + 1] || [x <- x];
+  a < x;
+}
+)");
+  EXPECT_EQ(runCli(Unreal).first, 3);
+  EXPECT_EQ(runCli("/nonexistent/spec.tslmt").first, 1);
+  EXPECT_EQ(runCli("--benchmark NoSuchThing").first, 1);
+  std::string Good = writeSpec("cli_counter.tslmt", CounterSpec);
+  EXPECT_EQ(runCli(Good).first, 0);
+}
+
+TEST(Cli, BadBudgetFlagsAreUsageErrors) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  EXPECT_EQ(runCli("--time-budget abc " + Path).first, 2);
+  EXPECT_EQ(runCli("--time-budget -1 " + Path).first, 2);
+  EXPECT_EQ(runCli("--inject-fault=other " + Path).first, 2);
+  // spin-hang without any budget to bound it would literally never
+  // return; the CLI must refuse it up front.
+  EXPECT_EQ(runCli("--inject-fault=spin-hang " + Path).first, 2);
+}
+
+TEST(Cli, UnfiredTimeBudgetKeepsOutputByteIdentical) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [RefCode, RefOut] = runCli("--emit=js " + Path);
+  auto [BudCode, BudOut] = runCli("--emit=js --time-budget 3600 " + Path);
+  EXPECT_EQ(RefCode, 0);
+  EXPECT_EQ(BudCode, 0);
+  EXPECT_EQ(RefOut, BudOut);
+}
+
+/// The acceptance bar for the deadline subsystem: an injected
+/// non-terminating SyGuS search under a 2s budget must exit with the
+/// resource-exhausted code within 4s of wall clock, report a timeout in
+/// the summary, and dump an artifact that temos-fuzz can replay.
+TEST(Cli, SpinHangTripsDeadlineAndDumpsReplayableArtifact) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  std::string Dir = ::testing::TempDir() + "/cli_artifacts";
+
+  auto Start = std::chrono::steady_clock::now();
+  auto [Code, Err] = runCliStderr("--emit=summary --time-budget 2 "
+                                  "--inject-fault=spin-hang --artifacts " +
+                                  Dir + " " + Path);
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  EXPECT_EQ(Code, 4) << "stderr was: " << Err;
+  EXPECT_LT(Wall, 4.0) << "deadline failed to trip within 2x the budget";
+  EXPECT_NE(Err.find("timeout"), std::string::npos) << "stderr was: " << Err;
+
+  // The artifact is announced on stderr and must exist on disk with the
+  // replayable header.
+  std::string Artifact = Dir + "/temos-artifact-Counter.tslmt";
+  EXPECT_NE(Err.find(Artifact), std::string::npos) << "stderr was: " << Err;
+  std::ifstream In(Artifact);
+  ASSERT_TRUE(In.good()) << Artifact;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_NE(Buf.str().find("// temos-artifact: v1"), std::string::npos);
+  EXPECT_NE(Buf.str().find("inject-fault=spin-hang"), std::string::npos);
+
+  // temos-fuzz --replay re-runs the artifact with the recorded options
+  // and exits 1 because the degradation reproduces.
+  std::string Replay = std::string(TEMOS_FUZZ_CLI_PATH) + " --replay " +
+                       Artifact + " 2>/dev/null";
+  FILE *Pipe = popen(Replay.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Out;
+  char Buffer[512];
+  while (fgets(Buffer, sizeof(Buffer), Pipe))
+    Out += Buffer;
+  int Status = pclose(Pipe);
+  EXPECT_EQ(WEXITSTATUS(Status), 1) << "replay output: " << Out;
+  EXPECT_NE(Out.find("degradation reproduces"), std::string::npos) << Out;
+}
+
+TEST(Cli, DegradedSummaryListsFailures) {
+  std::string Path = writeSpec("cli_counter.tslmt", CounterSpec);
+  auto [Code, Err] = runCliStderr(
+      "--emit=summary --time-budget 0.0001 --artifacts none " + Path);
+  EXPECT_EQ(Code, 4);
+  EXPECT_NE(Err.find("failure:"), std::string::npos) << "stderr was: " << Err;
 }
 
 } // namespace
